@@ -1,0 +1,104 @@
+"""Benchmarks for the component-level tables and figures.
+
+* Table 4  -- SpMU bank utilization vs queue depth / crossbar / priorities.
+* Table 5  -- scanner area.
+* Table 8  -- Capstan vs Plasticine area and power.
+* Figure 4 -- ordering-mode bank utilization on a random request trace.
+* Figure 6 -- scanner width / output-vectorization sensitivity.
+
+Each benchmark prints the regenerated rows next to the paper's published
+numbers so the output is a self-contained reproduction record.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.eval import (
+    figure4_ordering_trace,
+    figure6_scanner_sensitivity,
+    format_mapping,
+    format_table,
+    paper_vs_measured,
+    table4_spmu_throughput,
+    table5_scanner_area,
+    table8_area,
+)
+
+
+def test_table4_spmu_throughput(benchmark):
+    rows = run_once(
+        benchmark, table4_spmu_throughput, depths=(8, 16, 32), crossbars=(16, 32), vectors=120
+    )
+    print()
+    print(
+        format_table(
+            rows,
+            [
+                "depth",
+                "crossbar",
+                "measured_1pri_pct",
+                "paper_1pri_pct",
+                "measured_3pri_pct",
+                "paper_3pri_pct",
+            ],
+            title="Table 4: SpMU bank utilization (%)",
+        )
+    )
+    deep = next(r for r in rows if r["depth"] == 16 and r["crossbar"] == "16x16")
+    shallow = next(r for r in rows if r["depth"] == 8 and r["crossbar"] == "16x16")
+    assert deep["measured_3pri_pct"] > shallow["measured_1pri_pct"]
+
+
+def test_table5_scanner_area(benchmark):
+    rows = run_once(benchmark, table5_scanner_area)
+    print()
+    print(format_table(rows, ["width", "out1_um2", "out4_um2", "out16_um2"], "Table 5: scanner area (um^2)"))
+    assert rows[1]["out16_um2"] == 19898
+
+
+def test_table8_area(benchmark):
+    result = run_once(benchmark, table8_area)
+    print()
+    print(
+        format_mapping(
+            {
+                "capstan_total_mm2": result["capstan"]["total_mm2"],
+                "plasticine_total_mm2": result["plasticine"]["total_mm2"],
+                "area_overhead": result["area_overhead"],
+                "paper_area_overhead": result["paper_area_overhead"],
+                "power_overhead": result["power_overhead"],
+                "paper_power_overhead": result["paper_power_overhead"],
+            },
+            title="Table 8: area and power vs Plasticine",
+        )
+    )
+    assert abs(result["area_overhead"] - 0.16) < 0.03
+
+
+def test_figure4_ordering_trace(benchmark):
+    result = run_once(benchmark, figure4_ordering_trace, vectors=120)
+    print()
+    print(
+        paper_vs_measured(
+            result["measured_utilization_pct"],
+            result["paper_utilization_pct"],
+            title="Figure 4: bank utilization by ordering mode (%)",
+        )
+    )
+    measured = result["measured_utilization_pct"]
+    assert measured["unordered"] > measured["arbitrated"]
+
+
+def test_figure6_scanner_sensitivity(benchmark):
+    result = run_once(benchmark, figure6_scanner_sensitivity, scale=1 / 256)
+    print()
+    print("Figure 6a: slowdown vs bits scanned per cycle")
+    for app, series in result["bit_slowdown"].items():
+        print(f"  {app:>8}: " + "  ".join(f"{v:5.2f}" for v in series))
+    print("Figure 6c: slowdown vs scan output vectorization")
+    for app, series in result["output_slowdown"].items():
+        print(f"  {app:>8}: " + "  ".join(f"{v:5.2f}" for v in series))
+    # Scalar (1-bit) scanning must be much slower than the 512-bit scanner.
+    for app, series in result["bit_slowdown"].items():
+        assert series[0] >= series[-1]

@@ -1,0 +1,64 @@
+"""Benchmarks for the system-level figures.
+
+* Figure 5a -- DRAM bandwidth sensitivity.
+* Figure 5b -- on-chip area (outer-parallelism) sensitivity.
+* Figure 5c -- DRAM compression sensitivity.
+* Figure 7  -- execution-time stall breakdown per application.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.eval import (
+    figure5a_bandwidth_sensitivity,
+    figure5b_area_sensitivity,
+    figure5c_compression_sensitivity,
+    figure7_stall_breakdown,
+    format_series,
+    format_table,
+)
+
+
+def test_figure5a_bandwidth_sensitivity(benchmark, profile_set):
+    series = run_once(benchmark, figure5a_bandwidth_sensitivity, profile_set)
+    print()
+    print(format_series(series, "bandwidth_gbps", "Figure 5a: speedup vs DRAM bandwidth"))
+    # Memory-bound applications keep scaling to HBM2-class bandwidth.
+    for app in ("spmv-csr", "pagerank-pull", "pagerank-edge"):
+        assert series[app][-1] > series[app][0]
+
+
+def test_figure5b_area_sensitivity(benchmark, profile_set):
+    series = run_once(benchmark, figure5b_area_sensitivity, profile_set)
+    print()
+    print(format_series(series, "parallelism", "Figure 5b: speedup vs outer parallelism"))
+    for app, values in series.items():
+        if app == "parallelism":
+            continue
+        assert values[-1] >= values[0]
+
+
+def test_figure5c_compression_sensitivity(benchmark, profile_set):
+    series = run_once(benchmark, figure5c_compression_sensitivity, profile_set)
+    print()
+    print(format_series(series, "bandwidth_gbps", "Figure 5c: speedup from DRAM compression"))
+    # Pointer-heavy formats (COO, PR-Edge) benefit the most at low bandwidth.
+    assert max(series["spmv-coo"]) >= max(series["conv"]) - 1e-6
+
+
+def test_figure7_stall_breakdown(benchmark, profile_set):
+    breakdown = run_once(benchmark, figure7_stall_breakdown, profile_set)
+    print()
+    rows = [{"app": app, **{k: 100 * v for k, v in fractions.items()}} for app, fractions in breakdown.items()]
+    print(
+        format_table(
+            rows,
+            ["app", "active", "scan", "load_store", "vector_length", "imbalance", "network", "sram", "dram"],
+            "Figure 7: execution-time breakdown (%)",
+        )
+    )
+    for fractions in breakdown.values():
+        assert abs(sum(fractions.values()) - 1.0) < 1e-6
+    # BFS/SSSP are network-bound (un-pipelinable levels); SpMSpM keeps high activity.
+    assert breakdown["bfs"]["network"] > breakdown["spmspm"]["network"]

@@ -1,0 +1,94 @@
+"""Benchmarks for the system-level tables.
+
+* Table 9  -- SpMU architecture sensitivity (ideal / hash / linear x
+  allocated / weak / arbitrated).
+* Table 10 -- memory ordering-mode slowdowns.
+* Table 11 -- shuffle (merge) network sensitivity.
+* Table 12 -- end-to-end performance vs Plasticine, V100, and the CPU.
+* Table 13 -- comparison against the ASIC baselines.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.eval import (
+    format_mapping,
+    format_table,
+    paper_vs_measured,
+    table9_spmu_sensitivity,
+    table10_ordering_modes,
+    table11_shuffle_sensitivity,
+    table12_performance,
+    table13_asic_comparison,
+)
+
+
+def test_table9_spmu_sensitivity(benchmark, profile_set):
+    result = run_once(benchmark, table9_spmu_sensitivity, profile_set)
+    print()
+    print(
+        paper_vs_measured(
+            result["gmean"], result["paper_gmean"], "Table 9: SpMU sensitivity (gmean, rel. to Capstan+hash)"
+        )
+    )
+    gmean = result["gmean"]
+    assert gmean["ideal"] <= gmean["capstan-hash"] <= gmean["arbitrated-linear"]
+
+
+def test_table10_ordering_modes(benchmark, profile_set):
+    result = run_once(benchmark, table10_ordering_modes, profile_set)
+    print()
+    print(
+        paper_vs_measured(
+            result["gmean"], result["paper_gmean"], "Table 10: ordering-mode slowdown (gmean)"
+        )
+    )
+    assert result["gmean"]["fully-ordered"] >= result["gmean"]["address-ordered"] >= 1.0
+
+
+def test_table11_shuffle_sensitivity(benchmark, profile_set):
+    result = run_once(benchmark, table11_shuffle_sensitivity, profile_set)
+    print()
+    rows = [
+        {"app": app, **modes}
+        for app, modes in result["per_app"].items()
+    ]
+    print(format_table(rows, ["app", "none", "mrg-0", "mrg-1", "mrg-16"], "Table 11: shuffle sensitivity (rel. to Mrg-1)"))
+    for modes in result["per_app"].values():
+        assert modes["none"] >= modes["mrg-16"] - 1e-6
+
+
+def test_table12_performance(benchmark, profile_set):
+    result = run_once(benchmark, table12_performance, profile_set)
+    print()
+    print(
+        paper_vs_measured(
+            result["gmean"], result["paper_gmean"], "Table 12: runtime normalized to Capstan-HBM2E (gmean)"
+        )
+    )
+    rows = [{"app": app, **values} for app, values in result["per_app"].items()]
+    print()
+    print(
+        format_table(
+            rows,
+            ["app", "capstan-ddr4", "plasticine-hbm2e", "gpu-v100", "cpu-xeon"],
+            "Table 12 (per app, normalized to Capstan-HBM2E)",
+        )
+    )
+    gmean = result["gmean"]
+    assert gmean["cpu-xeon"] > gmean["gpu-v100"] > 1.0
+    assert gmean["plasticine-hbm2e"] > 1.0
+    assert gmean["capstan-ddr4"] > gmean["capstan-hbm2"] >= gmean["capstan-hbm2e"]
+
+
+def test_table13_asic_comparison(benchmark, profile_set):
+    result = run_once(benchmark, table13_asic_comparison, profile_set)
+    print()
+    print(
+        paper_vs_measured(
+            result["speedup"], result["paper"], "Table 13: Capstan speedup over ASIC baselines"
+        )
+    )
+    assert result["speedup"]["matraptor"] > 1.0
+    assert result["speedup"]["eie"] < result["speedup"]["matraptor"]

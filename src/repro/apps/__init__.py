@@ -1,0 +1,47 @@
+"""Applications expressed with Capstan's sparse-iteration primitives (Table 2)."""
+
+from .bfs import bfs, reference_bfs_levels
+from .bicgstab import BiCGStabResult, bicgstab
+from .common import AppRun
+from .conv import sparse_convolution
+from .pagerank import pagerank_edge, pagerank_pull, reference_pagerank
+from .profile import WorkloadProfile, vector_slots_for
+from .scan_model import ScanCost, data_scan_cost, scan_cost_pair, scan_cost_single
+from .spadd import reference_add, sparse_add
+from .spmspm import reference_spmspm, spmspm
+from .spmv import reference_spmv, spmv_coo, spmv_csc, spmv_csr
+from .sssp import reference_sssp, sssp
+from .timing import CapstanPlatform, default_platform, estimate_cycles, ideal_platform, run_metrics
+
+__all__ = [
+    "AppRun",
+    "WorkloadProfile",
+    "vector_slots_for",
+    "ScanCost",
+    "scan_cost_single",
+    "scan_cost_pair",
+    "data_scan_cost",
+    "spmv_csr",
+    "spmv_coo",
+    "spmv_csc",
+    "reference_spmv",
+    "pagerank_pull",
+    "pagerank_edge",
+    "reference_pagerank",
+    "bfs",
+    "reference_bfs_levels",
+    "sssp",
+    "reference_sssp",
+    "sparse_add",
+    "reference_add",
+    "spmspm",
+    "reference_spmspm",
+    "sparse_convolution",
+    "bicgstab",
+    "BiCGStabResult",
+    "CapstanPlatform",
+    "default_platform",
+    "ideal_platform",
+    "estimate_cycles",
+    "run_metrics",
+]

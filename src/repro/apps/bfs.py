@@ -1,0 +1,157 @@
+"""Breadth-first search with bitset frontiers (Table 2).
+
+The BFS kernel keeps two bitsets (frontier ``Fr`` and reached ``Rch``) plus
+a dense back-pointer array. Every level it scans the frontier bitset
+(sparse iteration), walks the adjacency list of each frontier vertex, and
+for each neighbour performs the conditional updates
+
+    Ptr[d] = Rch[d] ? Ptr[d] : s          (write-if-memory-zero)
+    Fr[d] |= !Rch[d]
+    Rch[d] = True                         (test-and-set)
+
+which Capstan maps to SpMU read-modify-write operations. BFS cannot be
+pipelined across levels (each level's frontier depends on the previous
+level), so the on-chip network latency per level shows up in Figure 7.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..formats.csc import CSCMatrix
+from ..formats.coo import COOMatrix
+from ..formats.csr import CSRMatrix
+from .common import AppRun
+from .profile import WorkloadProfile, vector_slots_for
+from .scan_model import ScanCost, scan_cost_single, zero_cost
+from .spmv import DEFAULT_OUTER_PARALLELISM, _pointer_compression
+
+
+def bfs(
+    adjacency: COOMatrix,
+    source: int = 0,
+    dataset: str = "synthetic",
+    outer_parallelism: int = DEFAULT_OUTER_PARALLELISM,
+    write_backpointers: bool = True,
+) -> AppRun:
+    """Frontier-based BFS from ``source``.
+
+    Args:
+        adjacency: Directed graph (``src -> dst``) in COO form.
+        source: Start vertex.
+        dataset: Dataset label for the profile.
+        outer_parallelism: CU/SpMU pairs frontier vertices are spread across.
+        write_backpointers: Whether to maintain the parent-pointer array
+            (disabled for the Graphicionado comparison, Section 4.4).
+
+    Returns:
+        An :class:`AppRun` whose output is the parent array (``-1`` for
+        unreached vertices, ``source`` for itself).
+    """
+    n = adjacency.shape[0]
+    if not 0 <= source < n:
+        raise WorkloadError("source vertex out of range")
+    # Outgoing adjacency in CSR form: for a frontier vertex we need its
+    # out-neighbours (the paper stores the graph in CSC of the transposed
+    # orientation; the traversal semantics are identical).
+    graph = CSRMatrix.from_coo_arrays(
+        (n, n), adjacency.rows, adjacency.cols, np.ones(adjacency.nnz)
+    )
+    reached = np.zeros(n, dtype=bool)
+    parent = np.full(n, -1, dtype=np.int64)
+    frontier = np.zeros(n, dtype=bool)
+    frontier[source] = True
+    reached[source] = True
+    parent[source] = source
+
+    row_pointers = graph.row_pointers
+    col_indices = graph.col_indices
+
+    levels = 0
+    edges_traversed = 0
+    frontier_scan = zero_cost()
+    trip_counts = []
+    tiles = outer_parallelism
+    tile_work = np.zeros(tiles, dtype=np.float64)
+    cross_requests = 0
+    nodes_per_tile = max(1, n // tiles)
+
+    while frontier.any():
+        levels += 1
+        frontier_vertices = np.nonzero(frontier)[0]
+        frontier_scan = frontier_scan.merge(scan_cost_single(frontier_vertices, n))
+        next_frontier = np.zeros(n, dtype=bool)
+        for slot, s in enumerate(frontier_vertices.tolist()):
+            start, end = row_pointers[s], row_pointers[s + 1]
+            neighbours = col_indices[start:end]
+            trip_counts.append(int(neighbours.size))
+            edges_traversed += int(neighbours.size)
+            tile_work[slot % tiles] += max(1, neighbours.size)
+            if neighbours.size:
+                owner = np.minimum(neighbours // nodes_per_tile, tiles - 1)
+                cross_requests += int(np.count_nonzero(owner != (slot % tiles)))
+                fresh = ~reached[neighbours]
+                fresh_neighbours = neighbours[fresh]
+                if write_backpointers and fresh_neighbours.size:
+                    parent[fresh_neighbours] = s
+                next_frontier[fresh_neighbours] = True
+                reached[fresh_neighbours] = True
+        frontier = next_frontier
+
+    updates_per_edge = 3 if write_backpointers else 2
+    profile = WorkloadProfile(
+        app="bfs",
+        dataset=dataset,
+        compute_iterations=edges_traversed,
+        vector_slots=vector_slots_for(trip_counts),
+        scan_cycles=frontier_scan.cycles,
+        scan_empty_cycles=frontier_scan.empty_cycles,
+        scan_elements=frontier_scan.elements,
+        sram_random_reads=edges_traversed,  # Rch[d] checks
+        sram_random_updates=updates_per_edge * edges_traversed,
+        dram_stream_read_bytes=4.0 * (edges_traversed + n + 1),
+        dram_stream_write_bytes=4.0 * (n if write_backpointers else n // 32 + 1),
+        pointer_stream_bytes=4.0 * edges_traversed,
+        pointer_compression_ratio=_pointer_compression(col_indices),
+        tile_work=tile_work.tolist(),
+        cross_tile_request_fraction=cross_requests / max(1, edges_traversed),
+        sequential_rounds=levels,
+        pipelinable=False,
+        outer_parallelism=outer_parallelism,
+        extra={
+            "levels": float(levels),
+            "edges_traversed": float(edges_traversed),
+            "reached": float(int(reached.sum())),
+        },
+    )
+    return AppRun(output=parent, profile=profile)
+
+
+def reference_bfs_levels(adjacency: COOMatrix, source: int = 0) -> np.ndarray:
+    """Reference BFS level per vertex (``-1`` if unreachable).
+
+    Used to validate the frontier implementation: a vertex's parent in the
+    frontier BFS must sit exactly one level above it.
+    """
+    n = adjacency.shape[0]
+    graph = CSRMatrix.from_coo_arrays(
+        (n, n), adjacency.rows, adjacency.cols, np.ones(adjacency.nnz)
+    )
+    level = np.full(n, -1, dtype=np.int64)
+    level[source] = 0
+    current = [source]
+    depth = 0
+    while current:
+        depth += 1
+        nxt = []
+        for s in current:
+            cols, _ = graph.row_slice(s)
+            for d in cols.tolist():
+                if level[d] < 0:
+                    level[d] = depth
+                    nxt.append(d)
+        current = nxt
+    return level

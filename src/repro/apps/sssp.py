@@ -1,0 +1,163 @@
+"""Single-source shortest paths with frontier relaxation (Table 2).
+
+SSSP keeps a dense distance array, a back-pointer array, and a frontier
+bitset. Every round it scans the frontier, relaxes each frontier vertex's
+out-edges, and re-inserts improved vertices into the next frontier:
+
+    nd = Dist[s] + G[s][d]
+    Ptr[d] = Dist[d] > nd ? s : Ptr[d]
+    Fr[d] |= Dist[d] > nd
+    Dist[d] = min(Dist[d], nd)            (min-report-changed)
+
+The distance update must be *address ordered*: two relaxations of the same
+vertex in one round must not be reordered arbitrarily, which is why SSSP is
+one of the paper's motivating cases for the ADDRESS_ORDERED SpMU mode.
+Like BFS, rounds cannot be pipelined.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.ordering import OrderingMode
+from ..errors import WorkloadError
+from ..formats.coo import COOMatrix
+from ..formats.csr import CSRMatrix
+from .common import AppRun
+from .profile import WorkloadProfile, vector_slots_for
+from .scan_model import scan_cost_single, zero_cost
+from .spmv import DEFAULT_OUTER_PARALLELISM, _pointer_compression
+
+
+def sssp(
+    adjacency: COOMatrix,
+    source: int = 0,
+    dataset: str = "synthetic",
+    outer_parallelism: int = DEFAULT_OUTER_PARALLELISM,
+    write_backpointers: bool = True,
+    max_rounds: int = 10_000,
+) -> AppRun:
+    """Frontier-based SSSP (Bellman-Ford style) from ``source``.
+
+    Args:
+        adjacency: Weighted directed graph in COO form (values are weights).
+        source: Start vertex.
+        dataset: Dataset label for the profile.
+        outer_parallelism: CU/SpMU pairs frontier vertices are spread across.
+        write_backpointers: Whether to maintain parent pointers (disabled
+            for the Graphicionado comparison).
+        max_rounds: Safety bound on relaxation rounds.
+
+    Returns:
+        An :class:`AppRun` whose output is the distance array (``inf`` for
+        unreachable vertices).
+    """
+    n = adjacency.shape[0]
+    if not 0 <= source < n:
+        raise WorkloadError("source vertex out of range")
+    if np.any(adjacency.values < 0):
+        raise WorkloadError("SSSP requires non-negative edge weights")
+    graph = CSRMatrix.from_coo_arrays((n, n), adjacency.rows, adjacency.cols, adjacency.values)
+    distance = np.full(n, np.inf, dtype=np.float64)
+    parent = np.full(n, -1, dtype=np.int64)
+    distance[source] = 0.0
+    parent[source] = source
+    frontier = np.zeros(n, dtype=bool)
+    frontier[source] = True
+
+    row_pointers = graph.row_pointers
+    col_indices = graph.col_indices
+    values = graph.values
+
+    rounds = 0
+    relaxations = 0
+    frontier_scan = zero_cost()
+    trip_counts = []
+    tiles = outer_parallelism
+    tile_work = np.zeros(tiles, dtype=np.float64)
+    cross_requests = 0
+    nodes_per_tile = max(1, n // tiles)
+
+    while frontier.any():
+        rounds += 1
+        if rounds > max_rounds:
+            raise WorkloadError("SSSP did not converge within max_rounds")
+        frontier_vertices = np.nonzero(frontier)[0]
+        frontier_scan = frontier_scan.merge(scan_cost_single(frontier_vertices, n))
+        next_frontier = np.zeros(n, dtype=bool)
+        for slot, s in enumerate(frontier_vertices.tolist()):
+            start, end = row_pointers[s], row_pointers[s + 1]
+            neighbours = col_indices[start:end]
+            weights = values[start:end]
+            trip_counts.append(int(neighbours.size))
+            relaxations += int(neighbours.size)
+            tile_work[slot % tiles] += max(1, neighbours.size)
+            if not neighbours.size:
+                continue
+            owner = np.minimum(neighbours // nodes_per_tile, tiles - 1)
+            cross_requests += int(np.count_nonzero(owner != (slot % tiles)))
+            candidate = distance[s] + weights
+            improved = candidate < distance[neighbours]
+            improved_vertices = neighbours[improved]
+            if improved_vertices.size:
+                # Same-destination relaxations within a round must apply the
+                # minimum; emulate the address-ordered RMW by reducing first.
+                order = np.argsort(candidate[improved], kind="stable")
+                for idx in order.tolist():
+                    d = int(improved_vertices[idx])
+                    nd = float(candidate[improved][idx])
+                    if nd < distance[d]:
+                        distance[d] = nd
+                        if write_backpointers:
+                            parent[d] = s
+                        next_frontier[d] = True
+        frontier = next_frontier
+
+    updates_per_edge = 3 if write_backpointers else 2
+    profile = WorkloadProfile(
+        app="sssp",
+        dataset=dataset,
+        compute_iterations=relaxations,
+        vector_slots=vector_slots_for(trip_counts),
+        scan_cycles=frontier_scan.cycles,
+        scan_empty_cycles=frontier_scan.empty_cycles,
+        scan_elements=frontier_scan.elements,
+        sram_random_reads=relaxations,  # Dist[d] reads
+        sram_random_updates=updates_per_edge * relaxations,
+        dram_stream_read_bytes=4.0 * (2 * relaxations + n + 1),
+        dram_stream_write_bytes=4.0 * (2 * n if write_backpointers else n),
+        pointer_stream_bytes=4.0 * relaxations,
+        pointer_compression_ratio=_pointer_compression(col_indices),
+        tile_work=tile_work.tolist(),
+        cross_tile_request_fraction=cross_requests / max(1, relaxations),
+        sequential_rounds=rounds,
+        pipelinable=False,
+        outer_parallelism=outer_parallelism,
+        extra={"rounds": float(rounds), "relaxations": float(relaxations)},
+    )
+    profile.extra["required_ordering"] = float(OrderingMode.ADDRESS_ORDERED is not None)
+    return AppRun(output=distance, profile=profile)
+
+
+def reference_sssp(adjacency: COOMatrix, source: int = 0) -> np.ndarray:
+    """Dijkstra reference distances used to validate the frontier SSSP."""
+    import heapq
+
+    n = adjacency.shape[0]
+    graph = CSRMatrix.from_coo_arrays((n, n), adjacency.rows, adjacency.cols, adjacency.values)
+    distance = np.full(n, np.inf, dtype=np.float64)
+    distance[source] = 0.0
+    heap = [(0.0, source)]
+    visited = np.zeros(n, dtype=bool)
+    while heap:
+        dist, vertex = heapq.heappop(heap)
+        if visited[vertex]:
+            continue
+        visited[vertex] = True
+        cols, weights = graph.row_slice(vertex)
+        for d, w in zip(cols.tolist(), weights.tolist()):
+            nd = dist + w
+            if nd < distance[d]:
+                distance[d] = nd
+                heapq.heappush(heap, (nd, d))
+    return distance

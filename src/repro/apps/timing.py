@@ -1,0 +1,223 @@
+"""Capstan platform timing model.
+
+Converts a platform-independent :class:`~repro.apps.profile.WorkloadProfile`
+into an end-to-end cycle estimate and a Figure 7 stall breakdown for one
+Capstan configuration. The model follows the paper's additive methodology:
+
+1. start from the lane-work a perfectly utilized machine would need
+   (Active);
+2. add analytically computed overheads: scanner cycles on empty vectors
+   (Scan), data movement through the datapath with ideal DRAM (Load/Store),
+   under-filled vectors (Vector Length), uneven tiles (Imbalance);
+3. add the modelled costs of the network (round trips for un-pipelinable
+   algorithms plus shuffle-network serialization of cross-tile traffic),
+   SRAM bank conflicts (from the SpMU microbenchmark throughput for the
+   configured ordering / hashing / allocator), and DRAM bandwidth beyond
+   the ideal-memory baseline.
+
+Every sensitivity study in the evaluation is a re-costing of the same
+profile under a different :class:`CapstanPlatform`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from ..config import CapstanConfig, MemoryTechnology, ShuffleMode, SpMUConfig
+from ..core.ordering import OrderingMode
+from ..core.spmu import effective_bank_throughput
+from ..core.shuffle import merge_efficiency
+from ..sim.dram import DRAMModel, TrafficSummary
+from ..sim.network import NetworkConfig, OnChipNetwork
+from ..sim.stats import RunMetrics, StallBreakdown
+from .profile import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class CapstanPlatform:
+    """One Capstan configuration to cost a workload on.
+
+    Attributes:
+        config: The architecture configuration (grid, memory technology,
+            scanner, SpMU, shuffle parameters).
+        ordering: SpMU memory ordering mode (Table 10).
+        bank_mapping: ``"hash"`` or ``"linear"`` (Table 9).
+        allocator: ``"separable"``, ``"greedy"``, or ``"arbitrated"``
+            (Table 9's Alloc / Weak Alloc / Arb columns).
+        ideal_sram: Model bank-conflict-free SRAM (Table 9's Ideal column).
+        ideal_network: Remove all network costs (Table 12's ideal row).
+        ideal_memory: Remove DRAM bandwidth limits (Table 12's ideal row).
+        name: Label used in reports.
+    """
+
+    config: CapstanConfig = field(default_factory=CapstanConfig)
+    ordering: OrderingMode = OrderingMode.UNORDERED
+    bank_mapping: str = "hash"
+    allocator: str = "separable"
+    ideal_sram: bool = False
+    ideal_network: bool = False
+    ideal_memory: bool = False
+    name: str = "capstan-hbm2e"
+
+    def with_memory(self, memory: MemoryTechnology, name: Optional[str] = None) -> "CapstanPlatform":
+        """A copy of this platform with a different memory technology."""
+        return replace(
+            self,
+            config=self.config.with_memory(memory),
+            name=name or f"capstan-{memory.value}",
+        )
+
+
+def default_platform(memory: MemoryTechnology = MemoryTechnology.HBM2E) -> CapstanPlatform:
+    """The paper's evaluated Capstan design point with the given memory."""
+    return CapstanPlatform(config=CapstanConfig(memory=memory), name=f"capstan-{memory.value}")
+
+
+def ideal_platform() -> CapstanPlatform:
+    """Capstan with an ideal network and memory (Table 12, first row)."""
+    return CapstanPlatform(
+        config=CapstanConfig(memory=MemoryTechnology.IDEAL),
+        ideal_sram=True,
+        ideal_network=True,
+        ideal_memory=True,
+        name="capstan-ideal",
+    )
+
+
+#: Merge-efficiency cache keyed by (mode, rounded cross fraction).
+_MERGE_EFFICIENCY_CACHE: dict = {}
+
+
+def _shuffle_efficiency(mode: ShuffleMode, cross_fraction: float) -> float:
+    """Delivered-slot efficiency of the shuffle network for a traffic mix."""
+    if mode is ShuffleMode.NONE:
+        # Without a shuffle network every cross-partition request is a
+        # scalar transfer; efficiency collapses towards 1/lanes for
+        # cross-heavy traffic.
+        return max(1.0 / 16.0, 1.0 - cross_fraction * (15.0 / 16.0))
+    key = (mode, round(min(max(cross_fraction, 0.0), 1.0), 2))
+    cached = _MERGE_EFFICIENCY_CACHE.get(key)
+    if cached is None:
+        cached = merge_efficiency(mode, cross_partition_fraction=key[1], vectors=24)
+        _MERGE_EFFICIENCY_CACHE[key] = cached
+    return max(cached, 1.0 / 16.0)
+
+
+def estimate_cycles(
+    profile: WorkloadProfile, platform: Optional[CapstanPlatform] = None
+) -> Tuple[float, StallBreakdown]:
+    """Estimate end-to-end cycles and the stall breakdown for one run.
+
+    Args:
+        profile: The application's platform-independent execution profile.
+        platform: The Capstan configuration to cost it on (defaults to the
+            paper's HBM2E design point).
+
+    Returns:
+        ``(cycles, breakdown)`` where ``breakdown.total_cycles == cycles``.
+    """
+    platform = platform or default_platform()
+    config = platform.config
+    lanes = config.lanes
+    units = max(1, min(config.compute_units, profile.outer_parallelism))
+    breakdown = StallBreakdown()
+
+    # --- Active: lane-work on a perfectly utilized machine. ---------------- #
+    breakdown.active = profile.compute_iterations / (lanes * units)
+
+    # --- Vector length: slots issued minus useful lane-work. ---------------- #
+    slot_cycles = profile.vector_slots / units
+    breakdown.vector_length = max(0.0, slot_cycles - breakdown.active)
+
+    # --- Scan: scanner overhead beyond what the loop bodies hide. ---------- #
+    scan_cycles = profile.scan_cycles / units
+    scan_hidden = min(scan_cycles, slot_cycles)
+    breakdown.scan = (profile.scan_empty_cycles / units) + max(0.0, scan_cycles - scan_hidden)
+
+    # --- Load/Store: moving data through the datapath with ideal DRAM. ----- #
+    streamed_words = profile.total_stream_bytes / 4.0
+    breakdown.load_store = streamed_words / (lanes * units)
+
+    # --- Imbalance: uneven tiles stretch the critical path. ---------------- #
+    balanced = breakdown.active + breakdown.vector_length + breakdown.scan
+    breakdown.imbalance = balanced * profile.imbalance_fraction
+
+    # --- Network: round trips + shuffle serialization of cross-tile traffic. #
+    if not platform.ideal_network:
+        network = OnChipNetwork(NetworkConfig(grid_width=max(2, int(round(units ** 0.5)))))
+        round_trip = network.round_trip_cycles(profile.sequential_rounds)
+        cross_requests = profile.cross_tile_request_fraction * profile.sram_random_accesses
+        efficiency = _shuffle_efficiency(config.shuffle.mode, profile.cross_tile_request_fraction)
+        shuffle_cycles = cross_requests / (lanes * units) * (1.0 / efficiency - 1.0)
+        pipeline_penalty = 0.0
+        if not profile.pipelinable:
+            # Un-pipelinable outer iterations also pay the per-iteration
+            # pipeline fill latency.
+            pipeline_penalty = profile.sequential_rounds * network.average_latency_cycles
+        breakdown.network = round_trip + shuffle_cycles + pipeline_penalty
+
+    # --- SRAM: bank conflicts beyond the conflict-free ideal. --------------- #
+    banks = config.spmu.banks
+    ideal_sram_cycles = profile.sram_random_accesses / (banks * units)
+    if platform.ideal_sram:
+        sram_cycles = ideal_sram_cycles
+    else:
+        allocator_kind = "separable" if platform.allocator == "separable" else "greedy"
+        if platform.allocator == "arbitrated":
+            ordering_for_tput = OrderingMode.ARBITRATED
+        else:
+            ordering_for_tput = platform.ordering
+        throughput = effective_bank_throughput(
+            ordering=ordering_for_tput,
+            bank_mapping="hash",
+            allocator_kind=allocator_kind,
+            config=config.spmu,
+            lanes=lanes,
+        )
+        throughput = max(throughput, 1.0)
+        normal_fraction = 1.0 - (
+            profile.strided_fraction if platform.bank_mapping == "linear" else 0.0
+        )
+        strided_fraction = 1.0 - normal_fraction
+        accesses = profile.sram_random_accesses
+        sram_cycles = (accesses * normal_fraction) / (throughput * units)
+        # Power-of-two strides under linear mapping serialize onto one bank.
+        sram_cycles += (accesses * strided_fraction) / (1.0 * units)
+    breakdown.sram = max(0.0, sram_cycles - min(ideal_sram_cycles, breakdown.active))
+
+    # --- DRAM: bandwidth-limited traffic beyond the ideal-DRAM baseline. ---- #
+    if not platform.ideal_memory:
+        dram = DRAMModel(config.memory, clock_ghz=config.clock_ghz)
+        stream_read = profile.dram_stream_read_bytes
+        if config.compression_enabled and profile.pointer_stream_bytes > 0:
+            saved = profile.pointer_stream_bytes * (
+                1.0 - 1.0 / max(profile.pointer_compression_ratio, 1.0)
+            )
+            stream_read = max(0.0, stream_read - saved)
+        traffic = TrafficSummary(
+            streaming_read_bytes=stream_read,
+            streaming_write_bytes=profile.dram_stream_write_bytes,
+            random_accesses=profile.dram_random_reads + 2 * profile.dram_random_updates,
+        )
+        dram_cycles = dram.traffic_cycles(traffic)
+        breakdown.dram = max(0.0, dram_cycles - breakdown.load_store)
+
+    return breakdown.total_cycles, breakdown
+
+
+def run_metrics(
+    profile: WorkloadProfile, platform: Optional[CapstanPlatform] = None
+) -> RunMetrics:
+    """Estimate cycles and wrap them in a :class:`RunMetrics` record."""
+    platform = platform or default_platform()
+    cycles, breakdown = estimate_cycles(profile, platform)
+    return RunMetrics(
+        app=profile.app,
+        dataset=profile.dataset,
+        platform=platform.name,
+        cycles=cycles,
+        clock_ghz=platform.config.clock_ghz,
+        breakdown=breakdown,
+        extra=dict(profile.extra),
+    )

@@ -1,0 +1,126 @@
+"""Bespoke-accelerator comparison models (Table 13).
+
+The paper compares Capstan against published numbers and idealized models
+of four ASICs, exactly as we do here:
+
+* **EIE** (CSC SpMV on compressed DNN weights): stores the whole model
+  on-chip and uses many scalar processing elements, so it beats Capstan
+  (0.53x at 1.6 GHz) because Capstan must stream the matrix from HBM.
+* **SCNN** (sparse CNN): a 2-D multiplier array processing 4 activations x
+  4 weights per PE per cycle; layers with few activations leave most of the
+  array idle.
+* **Graphicionado** (graph analytics with 64 MiB eDRAM): published
+  edge-processing rates on flickr/fb-class graphs; both it and Capstan are
+  DRAM-bound.
+* **MatRaptor** (row-product SpMSpM): eight scalar pipelines, peak
+  ~10 GOP/s; Capstan's 16-wide intersections give it a large advantage.
+
+Each model converts an application profile (or published rate) into an
+equivalent runtime so the Table 13 harness can report the speedup ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..apps.profile import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class ASICModel:
+    """A published-rate ASIC baseline.
+
+    Attributes:
+        name: Accelerator name.
+        clock_ghz: Published clock frequency.
+        reference_area_mm2: Published area (for the Table 13 notes).
+        reference_node_nm: Process node of the published area.
+    """
+
+    name: str
+    clock_ghz: float
+    reference_area_mm2: float
+    reference_node_nm: int
+
+
+EIE = ASICModel(name="eie", clock_ghz=0.8, reference_area_mm2=64.0, reference_node_nm=28)
+SCNN = ASICModel(name="scnn", clock_ghz=1.0, reference_area_mm2=7.9, reference_node_nm=16)
+GRAPHICIONADO = ASICModel(name="graphicionado", clock_ghz=1.0, reference_area_mm2=0.0, reference_node_nm=28)
+MATRAPTOR = ASICModel(name="matraptor", clock_ghz=2.0, reference_area_mm2=2.26, reference_node_nm=28)
+
+
+def eie_runtime_seconds(profile: WorkloadProfile, model: Optional[ASICModel] = None) -> float:
+    """EIE runtime for a CSC SpMV profile.
+
+    EIE keeps the compressed matrix in on-chip SRAM across 64 scalar PEs,
+    each retiring one multiply-accumulate per cycle with negligible memory
+    stalls; its advantage is the absence of DRAM traffic for matrix data.
+    """
+    model = model or EIE
+    pes = 256  # the 64 mm^2 EIE configuration the paper cites
+    macs = profile.compute_iterations
+    cycles = macs / pes
+    # Leading-non-zero detection keeps the PEs fed; a small fixed pipeline
+    # fill is paid per input column.
+    cycles += profile.extra.get("input_nnz", 0.0) * 0.25
+    return cycles / (model.clock_ghz * 1e9)
+
+
+def scnn_runtime_seconds(profile: WorkloadProfile, model: Optional[ASICModel] = None) -> float:
+    """SCNN runtime for a sparse convolution profile.
+
+    SCNN's 64 PEs each multiply 4 activations by 4 weights per cycle, but a
+    layer with few activations (or few weights) cannot fill the 4x4
+    Cartesian product, and output tiling forces multiple passes over the
+    weights for large layers.
+    """
+    model = model or SCNN
+    pes = 64
+    macs = profile.compute_iterations
+    activation_nnz = max(profile.extra.get("activation_nnz", macs), 1.0)
+    weights_per_activation = macs / activation_nnz
+    # Utilization of the 4x4 multiplier array per PE.
+    act_side = min(4.0, max(1.0, activation_nnz / pes))
+    weight_side = min(4.0, max(1.0, weights_per_activation))
+    utilization = (act_side / 4.0) * (weight_side / 4.0)
+    effective_macs_per_cycle = pes * 16.0 * utilization
+    cycles = macs / max(effective_macs_per_cycle, 1.0)
+    # Output tiling overhead: accumulator banks cover a limited output
+    # halo, so wide layers pay an extra pass.
+    cycles *= 1.15
+    return cycles / (model.clock_ghz * 1e9)
+
+
+def graphicionado_runtime_seconds(
+    profile: WorkloadProfile,
+    edges_per_second: float = 2.0e9,
+    model: Optional[ASICModel] = None,
+) -> float:
+    """Graphicionado runtime from its published edge-processing rate.
+
+    The paper compares against published rates on flickr/fb; the default
+    2 GTEPS is representative of its BFS/PR/SSSP numbers with eDRAM.
+    """
+    model = model or GRAPHICIONADO
+    edges = profile.extra.get("edges_traversed", None)
+    if edges is None:
+        edges = profile.extra.get("relaxations", None)
+    if edges is None:
+        edges = profile.extra.get("edges", profile.compute_iterations)
+    rounds = max(1.0, float(profile.sequential_rounds))
+    # Per-iteration pipeline drain adds a fixed overhead per round.
+    return edges / edges_per_second + rounds * 1e-6
+
+
+def matraptor_runtime_seconds(profile: WorkloadProfile, model: Optional[ASICModel] = None) -> float:
+    """MatRaptor runtime for an SpMSpM profile at its peak demonstrated rate.
+
+    MatRaptor's eight scalar pipelines deliver at most 10 GOP/s (counting a
+    multiply and an add as two operations), which the paper uses as the
+    comparison point.
+    """
+    model = model or MATRAPTOR
+    operations = 2.0 * profile.compute_iterations
+    peak_ops_per_second = 10.0e9
+    return operations / peak_ops_per_second

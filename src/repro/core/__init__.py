@@ -1,0 +1,116 @@
+"""Capstan's hardware components (Section 3 of the paper).
+
+This subpackage contains the paper's primary contribution: the sparse
+memory unit (SpMU) with its separable bank allocator and reordering
+pipeline, the bit-vector/data scanners that implement sparse loop headers,
+the butterfly shuffle networks, atomic DRAM address generators, read-only
+DRAM compression, pointer-to-bit-vector format conversion, the compute-unit
+model, and the calibrated area/power model.
+"""
+
+from .allocator import AllocationResult, GreedyAllocator, SeparableAllocator, make_allocator
+from .address_generator import AGStats, DRAMAddressGenerator, PartitionedDRAM
+from .area import (
+    AreaBreakdown,
+    area_overhead_vs_plasticine,
+    capstan_area,
+    plasticine_area,
+    power_overhead_vs_plasticine,
+    scanner_area_um2,
+    scheduler_area_um2,
+)
+from .bank_hash import (
+    conflict_count,
+    get_bank_mapper,
+    hashed_bank,
+    hashed_banks_array,
+    linear_bank,
+    linear_banks_array,
+)
+from .bloom import BloomFilter
+from .compression import (
+    CompressedPacket,
+    CompressionReport,
+    compress_pointer_array,
+    compression_ratio,
+    decompress_packets,
+    estimate_app_compression,
+)
+from .compute_unit import ComputeUnit, LaneActivity, OuterParallelism, distribute_work
+from .format_conversion import ConversionStats, FormatConverter
+from .ordering import OrderingMode
+from .scanner import (
+    BitVectorScanner,
+    DataScanner,
+    ScanElement,
+    ScanMode,
+    ScanTiming,
+    scan_timing_from_mask,
+)
+from .shuffle import MergeUnit, ShuffleNetwork, ShuffleRequest, ShuffleStats, merge_efficiency
+from .spmu import (
+    MemoryRequest,
+    RMWOp,
+    RequestResult,
+    SparseMemoryUnit,
+    SpMUStats,
+    effective_bank_throughput,
+    measure_bank_utilization,
+    random_request_vectors,
+)
+
+__all__ = [
+    "AllocationResult",
+    "SeparableAllocator",
+    "GreedyAllocator",
+    "make_allocator",
+    "AGStats",
+    "DRAMAddressGenerator",
+    "PartitionedDRAM",
+    "AreaBreakdown",
+    "capstan_area",
+    "plasticine_area",
+    "area_overhead_vs_plasticine",
+    "power_overhead_vs_plasticine",
+    "scanner_area_um2",
+    "scheduler_area_um2",
+    "hashed_bank",
+    "linear_bank",
+    "hashed_banks_array",
+    "linear_banks_array",
+    "get_bank_mapper",
+    "conflict_count",
+    "BloomFilter",
+    "CompressedPacket",
+    "CompressionReport",
+    "compress_pointer_array",
+    "decompress_packets",
+    "compression_ratio",
+    "estimate_app_compression",
+    "ComputeUnit",
+    "LaneActivity",
+    "OuterParallelism",
+    "distribute_work",
+    "ConversionStats",
+    "FormatConverter",
+    "OrderingMode",
+    "BitVectorScanner",
+    "DataScanner",
+    "ScanMode",
+    "ScanElement",
+    "ScanTiming",
+    "scan_timing_from_mask",
+    "MergeUnit",
+    "ShuffleNetwork",
+    "ShuffleRequest",
+    "ShuffleStats",
+    "merge_efficiency",
+    "MemoryRequest",
+    "RMWOp",
+    "RequestResult",
+    "SparseMemoryUnit",
+    "SpMUStats",
+    "random_request_vectors",
+    "measure_bank_utilization",
+    "effective_bank_throughput",
+]

@@ -1,0 +1,299 @@
+"""DRAM address generators (AGs) with atomic off-chip access support
+(Section 3.4).
+
+Capstan's AGs issue burst-level (64 B) requests to the memory controller.
+For atomic DRAM updates each AG tracks the bursts it currently has in
+flight: an arriving request vector is checked against pending bursts, new
+bursts are fetched if needed, the relevant read-modify-write operations
+execute against the buffered burst, and the burst is written back --
+guaranteeing that reads never race writes. The shuffle network assigns each
+AG a mutually exclusive address region, so no cross-AG coherence is needed.
+
+The model here is functional-plus-counting: it performs the RMW updates on a
+backing array (standing in for DRAM contents) while counting bursts fetched,
+bursts written back, row-buffer-friendly (sequential) bursts, and coalesced
+requests. The DRAM timing model (:mod:`repro.sim.dram`) converts those
+counts into cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import SimulationError
+from .spmu import MemoryRequest, RMWOp
+
+
+@dataclass
+class AGStats:
+    """Traffic statistics for one address generator.
+
+    Attributes:
+        requests: Individual element requests processed.
+        bursts_read: 64 B bursts fetched from DRAM.
+        bursts_written: 64 B bursts written back to DRAM.
+        coalesced_requests: Requests that hit a burst already in flight.
+        read_after_write_stalls: Requests that had to wait for a pending
+            write-back of the same burst before re-reading it.
+        sequential_bursts: Bursts whose address immediately follows the
+            previously fetched burst (row-buffer friendly traffic).
+    """
+
+    requests: int = 0
+    bursts_read: int = 0
+    bursts_written: int = 0
+    coalesced_requests: int = 0
+    read_after_write_stalls: int = 0
+    sequential_bursts: int = 0
+
+    @property
+    def bytes_read(self) -> int:
+        """Total bytes fetched from DRAM."""
+        return self.bursts_read * DRAMAddressGenerator.BURST_BYTES
+
+    @property
+    def bytes_written(self) -> int:
+        """Total bytes written back to DRAM."""
+        return self.bursts_written * DRAMAddressGenerator.BURST_BYTES
+
+    @property
+    def total_bytes(self) -> int:
+        """Total DRAM traffic in bytes."""
+        return self.bytes_read + self.bytes_written
+
+    def merge(self, other: "AGStats") -> "AGStats":
+        """Element-wise sum of two stats records."""
+        return AGStats(
+            requests=self.requests + other.requests,
+            bursts_read=self.bursts_read + other.bursts_read,
+            bursts_written=self.bursts_written + other.bursts_written,
+            coalesced_requests=self.coalesced_requests + other.coalesced_requests,
+            read_after_write_stalls=self.read_after_write_stalls + other.read_after_write_stalls,
+            sequential_bursts=self.sequential_bursts + other.sequential_bursts,
+        )
+
+
+class DRAMAddressGenerator:
+    """One DRAM AG: burst tracking, atomic RMW, and traffic accounting.
+
+    Args:
+        region_words: Number of 32-bit words in this AG's exclusive region.
+        burst_tracking_entries: Maximum bursts held in the pending-burst
+            buffer before the oldest is written back.
+        backing: Optional pre-initialised backing array for the region.
+    """
+
+    BURST_BYTES = 64
+    WORDS_PER_BURST = BURST_BYTES // 4
+
+    def __init__(
+        self,
+        region_words: int,
+        burst_tracking_entries: int = 16,
+        backing: Optional[np.ndarray] = None,
+    ):
+        if region_words <= 0:
+            raise SimulationError("region_words must be positive")
+        if burst_tracking_entries <= 0:
+            raise SimulationError("burst_tracking_entries must be positive")
+        self._region_words = region_words
+        self._max_pending = burst_tracking_entries
+        if backing is None:
+            self._data = np.zeros(region_words, dtype=np.float64)
+        else:
+            backing = np.asarray(backing, dtype=np.float64)
+            if backing.size != region_words:
+                raise SimulationError("backing array size must equal region_words")
+            self._data = backing.copy()
+        self._pending: Dict[int, bool] = {}  # burst id -> dirty flag
+        self._last_burst: Optional[int] = None
+        self._stats = AGStats()
+
+    @property
+    def stats(self) -> AGStats:
+        """Traffic statistics accumulated so far."""
+        return self._stats
+
+    @property
+    def region_words(self) -> int:
+        """Words covered by this AG's exclusive region."""
+        return self._region_words
+
+    def data(self) -> np.ndarray:
+        """A copy of the region contents (after draining pending bursts)."""
+        return self._data.copy()
+
+    def load(self, base: int, values: np.ndarray) -> None:
+        """Initialise region contents without generating traffic."""
+        values = np.asarray(values, dtype=np.float64)
+        if base < 0 or base + values.size > self._region_words:
+            raise SimulationError("load outside AG region")
+        self._data[base : base + values.size] = values
+
+    def process_vector(self, requests: Iterable[MemoryRequest]) -> List[float]:
+        """Execute a vector of element requests atomically against DRAM.
+
+        Returns the per-request returned values (old value, new value, or
+        changed flag depending on the RMW op -- the same semantics as the
+        SpMU FPU).
+        """
+        returned: List[float] = []
+        for request in requests:
+            returned.append(self._process_request(request))
+        return returned
+
+    def read_sequential(self, base_word: int, count_words: int) -> np.ndarray:
+        """Stream ``count_words`` sequential words, counting burst traffic."""
+        if base_word < 0 or base_word + count_words > self._region_words:
+            raise SimulationError("sequential read outside AG region")
+        first_burst = base_word // self.WORDS_PER_BURST
+        last_burst = (base_word + max(count_words, 1) - 1) // self.WORDS_PER_BURST
+        for burst in range(first_burst, last_burst + 1):
+            self._count_burst_read(burst)
+        self._stats.requests += count_words
+        return self._data[base_word : base_word + count_words].copy()
+
+    def write_sequential(self, base_word: int, values: np.ndarray) -> None:
+        """Stream ``values`` to sequential words, counting burst traffic."""
+        values = np.asarray(values, dtype=np.float64)
+        if base_word < 0 or base_word + values.size > self._region_words:
+            raise SimulationError("sequential write outside AG region")
+        self._data[base_word : base_word + values.size] = values
+        first_burst = base_word // self.WORDS_PER_BURST
+        last_burst = (base_word + max(values.size, 1) - 1) // self.WORDS_PER_BURST
+        self._stats.bursts_written += last_burst - first_burst + 1
+        self._stats.requests += values.size
+
+    def drain(self) -> None:
+        """Write back every pending dirty burst."""
+        for burst, dirty in list(self._pending.items()):
+            if dirty:
+                self._stats.bursts_written += 1
+        self._pending.clear()
+
+    # ------------------------------------------------------------------ #
+
+    def _process_request(self, request: MemoryRequest) -> float:
+        address = request.address
+        if address < 0 or address >= self._region_words:
+            raise SimulationError(f"address {address} outside AG region")
+        burst = address // self.WORDS_PER_BURST
+        self._stats.requests += 1
+        if burst in self._pending:
+            self._stats.coalesced_requests += 1
+        else:
+            if len(self._pending) >= self._max_pending:
+                self._evict_oldest()
+            self._count_burst_read(burst)
+            self._pending[burst] = False
+
+        old = float(self._data[address])
+        op = request.op
+        value = request.value
+        new = old
+        result = old
+        if op is RMWOp.READ:
+            pass
+        elif op is RMWOp.WRITE:
+            new = value
+        elif op is RMWOp.ADD:
+            new = old + value
+            result = new
+        elif op is RMWOp.SUB:
+            new = old - value
+            result = new
+        elif op is RMWOp.MIN_REPORT_CHANGED:
+            new = min(old, value)
+            result = 1.0 if new != old else 0.0
+        elif op is RMWOp.MAX:
+            new = max(old, value)
+            result = new
+        elif op is RMWOp.SWAP:
+            new = value
+            result = old
+        elif op is RMWOp.TEST_AND_SET:
+            new = 1.0
+            result = old
+        elif op is RMWOp.WRITE_IF_ZERO:
+            if old == 0.0:
+                new = value
+            result = old
+        elif op is RMWOp.BIT_OR:
+            new = float(int(old) | int(value))
+            result = new
+        elif op is RMWOp.BIT_AND:
+            new = float(int(old) & int(value))
+            result = new
+        else:  # pragma: no cover - exhaustive enum
+            raise SimulationError(f"unsupported RMW op {op}")
+        if op.modifies_memory and new != old:
+            self._data[address] = new
+            self._pending[burst] = True
+        return result
+
+    def _count_burst_read(self, burst: int) -> None:
+        self._stats.bursts_read += 1
+        if self._last_burst is not None and burst == self._last_burst + 1:
+            self._stats.sequential_bursts += 1
+        self._last_burst = burst
+
+    def _evict_oldest(self) -> None:
+        burst, dirty = next(iter(self._pending.items()))
+        if dirty:
+            self._stats.bursts_written += 1
+            self._stats.read_after_write_stalls += 1
+        del self._pending[burst]
+
+
+@dataclass
+class PartitionedDRAM:
+    """A set of AGs, each owning a mutually exclusive address region.
+
+    The shuffle network guarantees each AG sees only its own region;
+    here partitioning is by contiguous word ranges of equal size.
+    """
+
+    total_words: int
+    generators: int = 80
+    burst_tracking_entries: int = 16
+    _ags: List[DRAMAddressGenerator] = field(init=False, default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.total_words <= 0 or self.generators <= 0:
+            raise SimulationError("total_words and generators must be positive")
+        self._region = (self.total_words + self.generators - 1) // self.generators
+        self._ags = [
+            DRAMAddressGenerator(self._region, self.burst_tracking_entries)
+            for _ in range(self.generators)
+        ]
+
+    def ag_for(self, address: int) -> Tuple[int, int]:
+        """Return ``(ag_index, local_address)`` for a global word address."""
+        if address < 0 or address >= self.total_words:
+            raise SimulationError(f"address {address} outside DRAM")
+        return address // self._region, address % self._region
+
+    def process(self, requests: Iterable[MemoryRequest]) -> List[float]:
+        """Route element requests to their owning AGs and execute them."""
+        results: List[float] = []
+        for request in requests:
+            ag_index, local = self.ag_for(request.address)
+            local_request = MemoryRequest(
+                address=local, op=request.op, value=request.value, lane=request.lane
+            )
+            results.extend(self._ags[ag_index].process_vector([local_request]))
+        return results
+
+    def combined_stats(self) -> AGStats:
+        """Aggregate traffic statistics across all AGs."""
+        combined = AGStats()
+        for ag in self._ags:
+            combined = combined.merge(ag.stats)
+        return combined
+
+    def generator(self, index: int) -> DRAMAddressGenerator:
+        """Access one AG by index."""
+        return self._ags[index]

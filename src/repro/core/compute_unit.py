@@ -1,0 +1,196 @@
+"""Compute unit (CU) model (Section 4.1, "Flexible Parallelism").
+
+Each CU has 16 vector lanes and 6 pipeline stages; each stage performs a map
+or reduce operation on 32-bit fixed- or floating-point data. Loops can be
+parallelized within a vector (inner-par), across multiple vectorized CUs
+(outer-par), and through streaming inter-CU pipelines. Loops execute at
+most once per cycle, so an iteration count that is not a multiple of the
+lane count leaves lanes inactive -- the "Vector Length" stall source in
+Figure 7.
+
+The CU model is deliberately lightweight: applications report how many
+map/reduce iterations they execute and with what vector occupancy, and the
+CU converts those into cycles and lane-activity statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+from ..errors import SimulationError
+
+
+@dataclass
+class LaneActivity:
+    """Lane-activity accounting for one compute unit or pipeline stage.
+
+    Attributes:
+        cycles: Vector issue slots consumed.
+        active_lane_cycles: Lane-cycles doing useful work.
+        lanes: Vector width.
+    """
+
+    lanes: int = 16
+    cycles: int = 0
+    active_lane_cycles: int = 0
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of lane-cycles that were active."""
+        total = self.cycles * self.lanes
+        return self.active_lane_cycles / total if total else 0.0
+
+    def merge(self, other: "LaneActivity") -> "LaneActivity":
+        """Combine two activity records (same lane width required)."""
+        if self.lanes != other.lanes:
+            raise SimulationError("cannot merge activity with different lane counts")
+        return LaneActivity(
+            lanes=self.lanes,
+            cycles=self.cycles + other.cycles,
+            active_lane_cycles=self.active_lane_cycles + other.active_lane_cycles,
+        )
+
+
+class ComputeUnit:
+    """One vectorized compute unit executing map/reduce loop bodies."""
+
+    def __init__(self, lanes: int = 16, stages: int = 6):
+        if lanes <= 0 or stages <= 0:
+            raise SimulationError("lanes and stages must be positive")
+        self._lanes = lanes
+        self._stages = stages
+        self._activity = LaneActivity(lanes=lanes)
+
+    @property
+    def lanes(self) -> int:
+        """Vector width of the unit."""
+        return self._lanes
+
+    @property
+    def stages(self) -> int:
+        """Pipeline depth of the unit."""
+        return self._stages
+
+    @property
+    def activity(self) -> LaneActivity:
+        """Accumulated lane activity for this unit."""
+        return self._activity
+
+    def reset(self) -> None:
+        """Clear accumulated activity."""
+        self._activity = LaneActivity(lanes=self._lanes)
+
+    def map_cycles(self, iterations: int) -> int:
+        """Cycles to execute ``iterations`` independent loop-body iterations.
+
+        Iterations are packed ``lanes`` per cycle; a remainder leaves lanes
+        idle in the final cycle (vector-length underutilization).
+        """
+        if iterations < 0:
+            raise SimulationError("iterations must be non-negative")
+        if iterations == 0:
+            return 0
+        cycles = (iterations + self._lanes - 1) // self._lanes
+        self._activity.cycles += cycles
+        self._activity.active_lane_cycles += iterations
+        return cycles
+
+    def map_cycles_ragged(self, iteration_counts: Iterable[int]) -> int:
+        """Cycles for a nested loop whose inner trip count varies per outer
+        iteration (e.g. per-row non-zero counts).
+
+        Each outer iteration occupies ``ceil(count / lanes)`` cycles, or one
+        cycle if the count is zero (the loop header still issues).
+        """
+        total = 0
+        for count in iteration_counts:
+            if count < 0:
+                raise SimulationError("iteration counts must be non-negative")
+            cycles = max(1, (count + self._lanes - 1) // self._lanes)
+            total += cycles
+            self._activity.cycles += cycles
+            self._activity.active_lane_cycles += count
+        return total
+
+    def reduce_cycles(self, elements: int) -> int:
+        """Cycles for a vectorized tree reduction over ``elements`` values.
+
+        The vector reduce network folds ``lanes`` elements per cycle plus a
+        ``log2(lanes)`` tail for the final tree.
+        """
+        if elements < 0:
+            raise SimulationError("elements must be non-negative")
+        if elements == 0:
+            return 0
+        vector_cycles = (elements + self._lanes - 1) // self._lanes
+        tail = max(1, self._lanes.bit_length() - 1)
+        cycles = vector_cycles + tail
+        self._activity.cycles += cycles
+        self._activity.active_lane_cycles += elements
+        return cycles
+
+    def pipeline_fill_cycles(self) -> int:
+        """Cycles to fill the CU pipeline (paid once per streaming region)."""
+        return self._stages
+
+
+@dataclass
+class OuterParallelism:
+    """Work distribution across outer-parallel CU instances.
+
+    Capstan applications parallelize outer loops across multiple CU/SpMU
+    pairs; uneven tile sizes cause the "Imbalance" stall source of Figure 7.
+
+    Attributes:
+        per_unit_cycles: Cycles each parallel unit needs for its share.
+    """
+
+    per_unit_cycles: List[int] = field(default_factory=list)
+
+    @property
+    def units(self) -> int:
+        """Number of parallel units."""
+        return len(self.per_unit_cycles)
+
+    @property
+    def critical_path_cycles(self) -> int:
+        """Cycles until the slowest unit finishes (the makespan)."""
+        return max(self.per_unit_cycles) if self.per_unit_cycles else 0
+
+    @property
+    def total_work_cycles(self) -> int:
+        """Sum of all units' busy cycles."""
+        return sum(self.per_unit_cycles)
+
+    @property
+    def imbalance_cycles(self) -> int:
+        """Cycles lost to load imbalance relative to a perfect partition."""
+        if not self.per_unit_cycles:
+            return 0
+        ideal = (self.total_work_cycles + self.units - 1) // self.units
+        return max(0, self.critical_path_cycles - ideal)
+
+    @property
+    def imbalance_fraction(self) -> float:
+        """Imbalance cycles as a fraction of the critical path."""
+        critical = self.critical_path_cycles
+        return self.imbalance_cycles / critical if critical else 0.0
+
+
+def distribute_work(work_items: Iterable[int], units: int) -> OuterParallelism:
+    """Round-robin work items across ``units`` and report the distribution.
+
+    Args:
+        work_items: Cycle cost of each indivisible work item (e.g. one
+            matrix row or graph tile).
+        units: Number of outer-parallel units available.
+    """
+    if units <= 0:
+        raise SimulationError("units must be positive")
+    buckets = [0] * units
+    for index, cost in enumerate(work_items):
+        if cost < 0:
+            raise SimulationError("work item cost must be non-negative")
+        buckets[index % units] += cost
+    return OuterParallelism(per_unit_cycles=buckets)

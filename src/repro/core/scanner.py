@@ -1,0 +1,279 @@
+"""Sparse loop headers: the bit-vector and data scanners (Section 3.3).
+
+The scanner implements Capstan's vectorized sparse iteration. Each cycle the
+bit-vector scanner:
+
+1. computes the intersection or union of two input bit-vector tiles,
+2. selects the first ``output_vectorization`` (16) set bits of the result,
+3. encodes them into dense indices ``j``,
+4. looks up prefix sums over each input to produce compressed indices
+   ``jA`` / ``jB`` (or ``-1`` for a side that is absent, union mode only),
+   and the running dense counter ``j'``.
+
+The data scanner is the scalar fallback that finds one non-zero 32-bit
+element in a 16-element vector per cycle; it is used in outer loops only.
+
+This module provides both a *functional* scan (produce all iteration tuples
+for correctness) and a *timing* scan (how many cycles the hardware needs to
+stream a pair of bit-vectors through a scanner of a given configuration),
+which together drive the applications and the Figure 6 sensitivity study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..config import ScannerConfig
+from ..errors import SimulationError
+from ..formats.bitvector import BitVector
+
+
+class ScanMode(Enum):
+    """Set operation applied to the two scanned bit-vectors."""
+
+    INTERSECT = "intersect"
+    UNION = "union"
+    SINGLE = "single"
+
+
+@dataclass(frozen=True)
+class ScanElement:
+    """One sparse loop iteration produced by the scanner.
+
+    Attributes:
+        dense_index: The dense position ``j`` in the original index space.
+        ordinal: The running counter ``j'`` over scan outputs (0, 1, 2, ...).
+        index_a: Compressed index ``jA`` into the first operand's value
+            array, or ``-1`` if the bit is absent from that operand.
+        index_b: Compressed index ``jB`` into the second operand's value
+            array, or ``-1`` if absent (or the scan is single-operand).
+    """
+
+    dense_index: int
+    ordinal: int
+    index_a: int
+    index_b: int
+
+
+@dataclass(frozen=True)
+class ScanTiming:
+    """Cycle cost of streaming a scan through the scanner hardware.
+
+    Attributes:
+        cycles: Total scanner-occupied cycles.
+        elements: Number of iteration tuples produced.
+        bit_chunks: Number of ``bit_width`` input chunks consumed.
+        output_limited_cycles: Cycles where the output vectorization (not
+            the input width) was the bottleneck.
+        empty_chunks: Input chunks that contained no set bits (pure
+            scanning overhead; these are the "Scan" stalls of Figure 7).
+    """
+
+    cycles: int
+    elements: int
+    bit_chunks: int
+    output_limited_cycles: int
+    empty_chunks: int
+
+    @property
+    def elements_per_cycle(self) -> float:
+        """Average iteration throughput of the scan."""
+        return self.elements / self.cycles if self.cycles else 0.0
+
+
+class BitVectorScanner:
+    """Vectorized sparse loop header operating on bit-vector operands."""
+
+    def __init__(self, config: Optional[ScannerConfig] = None):
+        self._config = config or ScannerConfig()
+        self._config.validate()
+
+    @property
+    def config(self) -> ScannerConfig:
+        """The scanner's width/vectorization configuration."""
+        return self._config
+
+    def scan(
+        self,
+        vector_a: BitVector,
+        vector_b: Optional[BitVector] = None,
+        mode: ScanMode = ScanMode.INTERSECT,
+    ) -> List[ScanElement]:
+        """Produce the full list of iteration tuples for a sparse loop.
+
+        Args:
+            vector_a: First operand.
+            vector_b: Second operand; required unless ``mode`` is ``SINGLE``.
+            mode: Intersection, union, or single-operand scan.
+
+        Returns:
+            Iteration tuples ordered by dense index, exactly the values a
+            nested ``Foreach(Scan(...))`` loop body would observe.
+        """
+        mask, a_positions, b_positions = self._combine(vector_a, vector_b, mode)
+        elements: List[ScanElement] = []
+        set_bits = np.nonzero(mask)[0]
+        for ordinal, dense_index in enumerate(set_bits.tolist()):
+            elements.append(
+                ScanElement(
+                    dense_index=int(dense_index),
+                    ordinal=ordinal,
+                    index_a=int(a_positions[dense_index]),
+                    index_b=int(b_positions[dense_index]),
+                )
+            )
+        return elements
+
+    def count(
+        self,
+        vector_a: BitVector,
+        vector_b: Optional[BitVector] = None,
+        mode: ScanMode = ScanMode.INTERSECT,
+    ) -> int:
+        """Number of iterations the scan would produce.
+
+        The hardware writes this count into the counter chain in the first
+        cycle so one scanner can feed multiple counter levels.
+        """
+        mask, _, _ = self._combine(vector_a, vector_b, mode)
+        return int(np.count_nonzero(mask))
+
+    def timing(
+        self,
+        vector_a: BitVector,
+        vector_b: Optional[BitVector] = None,
+        mode: ScanMode = ScanMode.INTERSECT,
+    ) -> ScanTiming:
+        """Cycle cost of streaming this scan through the configured scanner.
+
+        The scanner consumes ``bit_width`` bits of the (combined) mask per
+        cycle and emits at most ``output_vectorization`` set bits per cycle;
+        a chunk with more set bits than the output width occupies multiple
+        cycles, and an all-zero chunk still costs one cycle.
+        """
+        mask, _, _ = self._combine(vector_a, vector_b, mode)
+        return scan_timing_from_mask(mask, self._config)
+
+    def _combine(
+        self,
+        vector_a: BitVector,
+        vector_b: Optional[BitVector],
+        mode: ScanMode,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return the combined mask and per-position compressed indices."""
+        if mode is ScanMode.SINGLE or vector_b is None:
+            if mode is not ScanMode.SINGLE and vector_b is None:
+                raise SimulationError("two-operand scan requires vector_b")
+            mask = vector_a.mask
+            a_positions = _prefix_positions(mask, mask)
+            b_positions = np.full(mask.size, -1, dtype=np.int64)
+            return mask, a_positions, b_positions
+        if vector_a.length != vector_b.length:
+            raise SimulationError(
+                f"scan operands must have equal length: "
+                f"{vector_a.length} vs {vector_b.length}"
+            )
+        mask_a = vector_a.mask
+        mask_b = vector_b.mask
+        if mode is ScanMode.INTERSECT:
+            mask = mask_a & mask_b
+        elif mode is ScanMode.UNION:
+            mask = mask_a | mask_b
+        else:
+            raise SimulationError(f"unsupported scan mode {mode}")
+        a_positions = _prefix_positions(mask_a, mask)
+        b_positions = _prefix_positions(mask_b, mask)
+        return mask, a_positions, b_positions
+
+
+class DataScanner:
+    """Scalar data scanner: finds non-zero elements, one per cycle.
+
+    The data scanner examines ``data_width`` (16) 32-bit elements per cycle
+    and emits one non-zero element per cycle, so its throughput can never
+    exceed one iteration per cycle; it is only used for outer loops.
+    """
+
+    def __init__(self, config: Optional[ScannerConfig] = None):
+        self._config = config or ScannerConfig()
+        self._config.validate()
+
+    @property
+    def config(self) -> ScannerConfig:
+        """The scanner's width configuration."""
+        return self._config
+
+    def scan(self, values: np.ndarray) -> List[Tuple[int, float]]:
+        """Return ``(index, value)`` pairs of non-zero elements in order."""
+        array = np.asarray(values, dtype=np.float64)
+        if array.ndim != 1:
+            raise SimulationError("data scanner operates on 1-D vectors")
+        indices = np.nonzero(array)[0]
+        return [(int(i), float(array[i])) for i in indices.tolist()]
+
+    def timing_cycles(self, values: np.ndarray) -> int:
+        """Cycles to scan ``values``: one per emitted non-zero, plus one per
+        all-zero ``data_width`` chunk traversed."""
+        array = np.asarray(values, dtype=np.float64)
+        if array.ndim != 1:
+            raise SimulationError("data scanner operates on 1-D vectors")
+        width = self._config.data_width
+        cycles = 0
+        for start in range(0, array.size, width):
+            chunk = array[start : start + width]
+            nonzeros = int(np.count_nonzero(chunk))
+            cycles += max(1, nonzeros)
+        return cycles
+
+
+def scan_timing_from_mask(mask: np.ndarray, config: ScannerConfig) -> ScanTiming:
+    """Compute scanner cycle cost for a combined occupancy mask.
+
+    This is shared by the bit-vector scanner and by application timing
+    models that already have the combined mask in hand.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    width = config.bit_width
+    out_width = config.output_vectorization
+    cycles = 0
+    elements = 0
+    bit_chunks = 0
+    output_limited = 0
+    empty_chunks = 0
+    for start in range(0, max(mask.size, 1), width):
+        chunk = mask[start : start + width]
+        bit_chunks += 1
+        set_bits = int(np.count_nonzero(chunk))
+        if set_bits == 0:
+            cycles += 1
+            empty_chunks += 1
+            continue
+        chunk_cycles = (set_bits + out_width - 1) // out_width
+        if chunk_cycles > 1:
+            output_limited += chunk_cycles - 1
+        cycles += chunk_cycles
+        elements += set_bits
+    return ScanTiming(
+        cycles=cycles,
+        elements=elements,
+        bit_chunks=bit_chunks,
+        output_limited_cycles=output_limited,
+        empty_chunks=empty_chunks,
+    )
+
+
+def _prefix_positions(operand_mask: np.ndarray, output_mask: np.ndarray) -> np.ndarray:
+    """Map each output position to its compressed index in the operand.
+
+    Positions where the operand bit is clear map to ``-1`` (union mode).
+    The hardware implements this with a prefix sum over the operand mask.
+    """
+    prefix = np.cumsum(operand_mask.astype(np.int64)) - 1
+    positions = np.where(operand_mask, prefix, -1)
+    # Positions outside the output mask are irrelevant; leave them as
+    # computed so callers can index by dense position directly.
+    return positions.astype(np.int64)

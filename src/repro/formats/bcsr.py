@@ -1,0 +1,245 @@
+"""Block compressed sparse row (BCSR) and banded matrix formats (Table 1).
+
+BCSR stores small dense ``k x k`` blocks instead of individual non-zeros; it
+trades some explicit zeros for regular, vectorizable block structure. The
+banded format stores a subset of diagonals densely, matching matrices from
+stencil discretizations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from ..errors import FormatError
+from .base import SparseMatrixFormat, check_shape
+
+
+class BCSRMatrix(SparseMatrixFormat):
+    """A block-CSR matrix with square ``block_size`` x ``block_size`` blocks."""
+
+    def __init__(
+        self,
+        shape: Tuple[int, int],
+        block_size: int,
+        block_row_pointers: np.ndarray,
+        block_col_indices: np.ndarray,
+        blocks: np.ndarray,
+    ):
+        self._shape = check_shape(shape)
+        if block_size <= 0:
+            raise FormatError("block_size must be positive")
+        if self._shape[0] % block_size or self._shape[1] % block_size:
+            raise FormatError("matrix dimensions must be multiples of block_size")
+        self._block_size = int(block_size)
+        blocks = np.asarray(blocks, dtype=np.float64)
+        if blocks.ndim != 3 or blocks.shape[1:] != (block_size, block_size):
+            raise FormatError("blocks must have shape (nblocks, block_size, block_size)")
+        block_rows = self._shape[0] // block_size
+        block_col_indices = np.asarray(block_col_indices, dtype=np.int64)
+        if block_col_indices.size != blocks.shape[0]:
+            raise FormatError("block_col_indices must match number of blocks")
+        block_row_pointers = np.asarray(block_row_pointers, dtype=np.int64)
+        if block_row_pointers.size != block_rows + 1:
+            raise FormatError("block_row_pointers must have block_rows + 1 entries")
+        if block_row_pointers[0] != 0 or block_row_pointers[-1] != blocks.shape[0]:
+            raise FormatError("block_row_pointers must span all blocks")
+        if np.any(np.diff(block_row_pointers) < 0):
+            raise FormatError("block_row_pointers must be non-decreasing")
+        if block_col_indices.size and (
+            block_col_indices.min() < 0
+            or block_col_indices.max() >= self._shape[1] // block_size
+        ):
+            raise FormatError("block_col_indices out of range")
+        self._block_row_pointers = block_row_pointers
+        self._block_col_indices = block_col_indices
+        self._blocks = blocks
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, block_size: int = 4) -> "BCSRMatrix":
+        """Build a BCSR matrix keeping every block containing any non-zero."""
+        array = np.asarray(dense, dtype=np.float64)
+        if array.ndim != 2:
+            raise FormatError("from_dense requires a 2-D array")
+        rows, cols = array.shape
+        if rows % block_size or cols % block_size:
+            raise FormatError("matrix dimensions must be multiples of block_size")
+        block_rows, block_cols = rows // block_size, cols // block_size
+        pointers: List[int] = [0]
+        indices: List[int] = []
+        blocks: List[np.ndarray] = []
+        for br in range(block_rows):
+            for bc in range(block_cols):
+                block = array[
+                    br * block_size : (br + 1) * block_size,
+                    bc * block_size : (bc + 1) * block_size,
+                ]
+                if np.any(block):
+                    indices.append(bc)
+                    blocks.append(block.copy())
+            pointers.append(len(indices))
+        block_array = (
+            np.stack(blocks)
+            if blocks
+            else np.empty((0, block_size, block_size), dtype=np.float64)
+        )
+        return cls(
+            (rows, cols),
+            block_size,
+            np.asarray(pointers, dtype=np.int64),
+            np.asarray(indices, dtype=np.int64),
+            block_array,
+        )
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self._shape
+
+    @property
+    def block_size(self) -> int:
+        """Edge length of each stored dense block."""
+        return self._block_size
+
+    @property
+    def block_count(self) -> int:
+        """Number of stored blocks."""
+        return int(self._blocks.shape[0])
+
+    @property
+    def nnz(self) -> int:
+        return int(np.count_nonzero(self._blocks))
+
+    @property
+    def stored_elements(self) -> int:
+        """Total elements stored, including explicit zeros inside blocks."""
+        return self.block_count * self._block_size * self._block_size
+
+    def block_fill_ratio(self) -> float:
+        """Fraction of stored block elements that are actually non-zero."""
+        stored = self.stored_elements
+        return self.nnz / stored if stored else 0.0
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self._shape, dtype=np.float64)
+        block_idx = 0
+        block_rows = self._shape[0] // self._block_size
+        for br in range(block_rows):
+            start = self._block_row_pointers[br]
+            end = self._block_row_pointers[br + 1]
+            for slot in range(start, end):
+                bc = int(self._block_col_indices[slot])
+                dense[
+                    br * self._block_size : (br + 1) * self._block_size,
+                    bc * self._block_size : (bc + 1) * self._block_size,
+                ] = self._blocks[slot]
+                block_idx += 1
+        return dense
+
+    def iter_nonzeros(self) -> Iterator[Tuple[int, int, float]]:
+        dense = self.to_dense()
+        rows, cols = np.nonzero(dense)
+        for r, c in zip(rows.tolist(), cols.tolist()):
+            yield r, c, float(dense[r, c])
+
+    def storage_bytes(self) -> int:
+        """Bytes for pointers, block column indices, and dense block payloads."""
+        return 4 * (
+            self._block_row_pointers.size
+            + self._block_col_indices.size
+            + self.stored_elements
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BCSRMatrix(shape={self._shape}, block_size={self._block_size}, "
+            f"blocks={self.block_count}, nnz={self.nnz})"
+        )
+
+
+class BandedMatrix(SparseMatrixFormat):
+    """A matrix stored densely along a subset of diagonals.
+
+    Diagonal ``k`` holds entries ``A[i, i + k]``; ``k = 0`` is the main
+    diagonal, positive offsets are super-diagonals and negative offsets are
+    sub-diagonals.
+    """
+
+    def __init__(self, shape: Tuple[int, int], diagonals: Dict[int, np.ndarray]):
+        self._shape = check_shape(shape)
+        rows, cols = self._shape
+        self._diagonals: Dict[int, np.ndarray] = {}
+        for offset, values in sorted(diagonals.items()):
+            expected = self._diagonal_length(offset)
+            values = np.asarray(values, dtype=np.float64)
+            if values.ndim != 1 or values.size != expected:
+                raise FormatError(
+                    f"diagonal {offset} must have {expected} entries, got {values.size}"
+                )
+            if not -rows < offset < cols:
+                raise FormatError(f"diagonal offset {offset} outside matrix")
+            self._diagonals[int(offset)] = values.copy()
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, offsets: List[int]) -> "BandedMatrix":
+        """Extract the given diagonals from a dense matrix."""
+        array = np.asarray(dense, dtype=np.float64)
+        if array.ndim != 2:
+            raise FormatError("from_dense requires a 2-D array")
+        diagonals = {offset: np.diagonal(array, offset).copy() for offset in offsets}
+        return cls(array.shape, diagonals)
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self._shape
+
+    @property
+    def offsets(self) -> List[int]:
+        """Stored diagonal offsets in ascending order."""
+        return sorted(self._diagonals)
+
+    @property
+    def nnz(self) -> int:
+        return int(sum(np.count_nonzero(v) for v in self._diagonals.values()))
+
+    @property
+    def stored_elements(self) -> int:
+        """Total stored elements including explicit zeros on the diagonals."""
+        return int(sum(v.size for v in self._diagonals.values()))
+
+    def diagonal(self, offset: int) -> np.ndarray:
+        """Return the stored values along ``offset`` (raises if absent)."""
+        if offset not in self._diagonals:
+            raise FormatError(f"diagonal {offset} is not stored")
+        return self._diagonals[offset].copy()
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self._shape, dtype=np.float64)
+        for offset, values in self._diagonals.items():
+            for i, value in enumerate(values.tolist()):
+                row = i if offset >= 0 else i - offset
+                col = i + offset if offset >= 0 else i
+                dense[row, col] = value
+        return dense
+
+    def iter_nonzeros(self) -> Iterator[Tuple[int, int, float]]:
+        dense = self.to_dense()
+        rows, cols = np.nonzero(dense)
+        for r, c in zip(rows.tolist(), cols.tolist()):
+            yield r, c, float(dense[r, c])
+
+    def storage_bytes(self) -> int:
+        """Bytes to store the diagonal payloads plus one offset per diagonal."""
+        return 4 * (self.stored_elements + len(self._diagonals))
+
+    def __repr__(self) -> str:
+        return (
+            f"BandedMatrix(shape={self._shape}, diagonals={len(self._diagonals)}, "
+            f"nnz={self.nnz})"
+        )
+
+    def _diagonal_length(self, offset: int) -> int:
+        rows, cols = self._shape
+        if offset >= 0:
+            return max(0, min(rows, cols - offset))
+        return max(0, min(rows + offset, cols))

@@ -1,0 +1,180 @@
+"""Two-level bit-tree sparse vector format (Section 2.3, Figure 1).
+
+Bit-vector sparsity breaks down for extremely sparse vectors (density well
+below 1%): most scanned bits are zero, so vectorization gains nothing. The
+bit-tree adds a top-level bit-vector whose set bits each point to a
+fixed-size second-level bit-vector tile. A two-level tree with 512-bit tiles
+can encode 262,144 positions in 512 top-level bits.
+
+Streaming iteration over two bit-trees uses a two-pass algorithm: the first
+pass intersects/unions the top-level vectors to realign the second-level
+tiles (dropping unmatched tiles for intersection, inserting zero tiles for
+union), then nested sparse-sparse loops process the aligned tiles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from ..errors import FormatError
+from .bitvector import BitVector
+
+
+class BitTree:
+    """A two-level bit-tree over a logical vector of ``length`` positions."""
+
+    def __init__(self, length: int, tile_bits: int = 512):
+        if length < 0:
+            raise FormatError("bit-tree length must be non-negative")
+        if tile_bits <= 0:
+            raise FormatError("tile_bits must be positive")
+        self._length = int(length)
+        self._tile_bits = int(tile_bits)
+        self._tiles: Dict[int, BitVector] = {}
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, tile_bits: int = 512) -> "BitTree":
+        """Build a bit-tree from a dense 1-D array, dropping zeros."""
+        array = np.asarray(dense, dtype=np.float64)
+        if array.ndim != 1:
+            raise FormatError("from_dense requires a 1-D array")
+        tree = cls(array.shape[0], tile_bits)
+        for index in np.nonzero(array)[0].tolist():
+            tree.set(index, float(array[index]))
+        return tree
+
+    @classmethod
+    def from_indices(
+        cls, length: int, indices: np.ndarray, values: np.ndarray, tile_bits: int = 512
+    ) -> "BitTree":
+        """Build a bit-tree from sorted index/value arrays."""
+        tree = cls(length, tile_bits)
+        for index, value in zip(np.asarray(indices).tolist(), np.asarray(values).tolist()):
+            tree.set(int(index), float(value))
+        return tree
+
+    @property
+    def length(self) -> int:
+        """Logical number of positions."""
+        return self._length
+
+    @property
+    def tile_bits(self) -> int:
+        """Positions covered by each second-level tile."""
+        return self._tile_bits
+
+    @property
+    def tile_count(self) -> int:
+        """Number of tile slots covering the whole vector."""
+        return (self._length + self._tile_bits - 1) // self._tile_bits
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored non-zero positions."""
+        return sum(tile.nnz for tile in self._tiles.values())
+
+    @property
+    def occupied_tiles(self) -> int:
+        """Number of second-level tiles with at least one set bit."""
+        return len(self._tiles)
+
+    def set(self, index: int, value: float) -> None:
+        """Set position ``index`` to ``value`` (value must be non-zero)."""
+        if index < 0 or index >= self._length:
+            raise FormatError(f"index {index} out of range")
+        if value == 0.0:
+            raise FormatError("bit-tree entries must be non-zero")
+        tile_id = index // self._tile_bits
+        offset = index % self._tile_bits
+        tile = self._tiles.get(tile_id)
+        tile_len = min(self._tile_bits, self._length - tile_id * self._tile_bits)
+        if tile is None:
+            self._tiles[tile_id] = BitVector(tile_len, [offset], [value])
+            return
+        dense = tile.to_dense()
+        dense[offset] = value
+        self._tiles[tile_id] = BitVector.from_dense(dense)
+
+    def top_level(self) -> BitVector:
+        """The top-level bit-vector: one bit per occupied tile slot."""
+        return BitVector(self.tile_count, sorted(self._tiles))
+
+    def tile(self, tile_id: int) -> BitVector:
+        """Return the second-level tile ``tile_id`` (empty if unoccupied)."""
+        if tile_id < 0 or tile_id >= self.tile_count:
+            raise FormatError(f"tile {tile_id} out of range")
+        existing = self._tiles.get(tile_id)
+        if existing is not None:
+            return existing
+        tile_len = min(self._tile_bits, self._length - tile_id * self._tile_bits)
+        return BitVector.empty(tile_len)
+
+    def iter_tiles(self) -> Iterator[Tuple[int, BitVector]]:
+        """Yield ``(tile_id, tile)`` for occupied tiles in ascending order."""
+        for tile_id in sorted(self._tiles):
+            yield tile_id, self._tiles[tile_id]
+
+    def to_dense(self) -> np.ndarray:
+        """Expand to a dense float64 array."""
+        dense = np.zeros(self._length, dtype=np.float64)
+        for tile_id, tile in self._tiles.items():
+            base = tile_id * self._tile_bits
+            for offset, value in tile.iter_set_bits():
+                dense[base + offset] = value
+        return dense
+
+    def to_bitvector(self) -> BitVector:
+        """Flatten the tree into a single (long) bit-vector."""
+        return BitVector.from_dense(self.to_dense())
+
+    def indices(self) -> np.ndarray:
+        """All stored positions in ascending order."""
+        out: List[int] = []
+        for tile_id, tile in self.iter_tiles():
+            base = tile_id * self._tile_bits
+            out.extend(base + i for i in tile.indices.tolist())
+        return np.asarray(out, dtype=np.int64)
+
+    def storage_bits(self) -> int:
+        """Bits to store the top-level vector, occupied tiles, and values."""
+        top = self.tile_count
+        tiles = sum(tile.length for tile in self._tiles.values())
+        values = 32 * self.nnz
+        return top + tiles + values
+
+    def __repr__(self) -> str:
+        return (
+            f"BitTree(length={self._length}, tile_bits={self._tile_bits}, "
+            f"tiles={self.occupied_tiles}, nnz={self.nnz})"
+        )
+
+
+def align_trees(
+    left: BitTree, right: BitTree, mode: str = "union"
+) -> List[Tuple[int, BitVector, BitVector]]:
+    """Realign two bit-trees' second-level tiles (the first streaming pass).
+
+    Args:
+        left: First operand.
+        right: Second operand.
+        mode: ``"union"`` keeps tiles occupied in either tree, inserting
+            zero tiles for the missing side; ``"intersect"`` keeps only tiles
+            occupied in both trees.
+
+    Returns:
+        A list of ``(tile_id, left_tile, right_tile)`` triples ordered by
+        tile id, ready for nested sparse-sparse iteration.
+    """
+    if left.length != right.length or left.tile_bits != right.tile_bits:
+        raise FormatError("bit-trees must have matching length and tile size")
+    if mode not in ("union", "intersect"):
+        raise FormatError(f"unknown alignment mode {mode!r}")
+    left_ids = {tile_id for tile_id, _ in left.iter_tiles()}
+    right_ids = {tile_id for tile_id, _ in right.iter_tiles()}
+    if mode == "union":
+        selected = sorted(left_ids | right_ids)
+    else:
+        selected = sorted(left_ids & right_ids)
+    return [(tile_id, left.tile(tile_id), right.tile(tile_id)) for tile_id in selected]

@@ -1,0 +1,178 @@
+"""Packed bit-vector sparse vector format (Figure 1).
+
+A bit-vector stores one bit per logical position; set bits mark non-zero
+positions, and the corresponding values are stored contiguously in a
+compressed data array. Bit-vectors are the substrate for Capstan's
+vectorized sparse iteration: the scanner intersects or unions two
+bit-vectors and emits dense and compressed indices (Section 2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..errors import FormatError
+
+
+class BitVector:
+    """A sparse vector stored as a packed bit mask plus compressed values.
+
+    Attributes:
+        length: Logical length of the vector (number of bit positions).
+    """
+
+    def __init__(
+        self,
+        length: int,
+        indices: Iterable[int],
+        values: Optional[Iterable[float]] = None,
+    ):
+        if length < 0:
+            raise FormatError("bit-vector length must be non-negative")
+        self._length = int(length)
+        index_array = np.asarray(list(indices), dtype=np.int64)
+        if index_array.size:
+            if index_array.min() < 0 or index_array.max() >= self._length:
+                raise FormatError("bit-vector indices out of range")
+            if np.any(np.diff(np.sort(index_array)) == 0):
+                raise FormatError("bit-vector indices must be unique")
+        order = np.argsort(index_array, kind="stable")
+        self._indices = index_array[order]
+        if values is None:
+            self._values = np.ones(self._indices.size, dtype=np.float64)
+        else:
+            value_array = np.asarray(list(values), dtype=np.float64)
+            if value_array.size != index_array.size:
+                raise FormatError("bit-vector values must match indices in length")
+            self._values = value_array[order]
+        self._mask = np.zeros(self._length, dtype=bool)
+        self._mask[self._indices] = True
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "BitVector":
+        """Build a bit-vector from a dense 1-D array, dropping zeros."""
+        array = np.asarray(dense, dtype=np.float64)
+        if array.ndim != 1:
+            raise FormatError("from_dense requires a 1-D array")
+        indices = np.nonzero(array)[0]
+        return cls(array.shape[0], indices, array[indices])
+
+    @classmethod
+    def from_mask(cls, mask: np.ndarray) -> "BitVector":
+        """Build a boolean bit-vector (all values 1.0) from a mask array."""
+        array = np.asarray(mask, dtype=bool)
+        if array.ndim != 1:
+            raise FormatError("from_mask requires a 1-D array")
+        return cls(array.shape[0], np.nonzero(array)[0])
+
+    @classmethod
+    def empty(cls, length: int) -> "BitVector":
+        """An all-zero bit-vector of the given length."""
+        return cls(length, [])
+
+    @property
+    def length(self) -> int:
+        """Logical number of positions."""
+        return self._length
+
+    @property
+    def nnz(self) -> int:
+        """Number of set bits."""
+        return int(self._indices.size)
+
+    @property
+    def density(self) -> float:
+        """Fraction of positions that are set."""
+        return self.nnz / self._length if self._length else 0.0
+
+    @property
+    def indices(self) -> np.ndarray:
+        """Sorted positions of set bits."""
+        return self._indices.copy()
+
+    @property
+    def values(self) -> np.ndarray:
+        """Compressed values, aligned with :attr:`indices`."""
+        return self._values.copy()
+
+    @property
+    def mask(self) -> np.ndarray:
+        """Boolean occupancy mask of length :attr:`length`."""
+        return self._mask.copy()
+
+    def to_dense(self) -> np.ndarray:
+        """Expand to a dense float64 array."""
+        dense = np.zeros(self._length, dtype=np.float64)
+        dense[self._indices] = self._values
+        return dense
+
+    def packed_words(self, word_bits: int = 32) -> np.ndarray:
+        """Pack the occupancy mask into ``word_bits``-bit unsigned words.
+
+        This mirrors the on-chip storage layout: a 512-bit tile occupies 16
+        32-bit SRAM words.
+        """
+        if word_bits <= 0 or word_bits > 64:
+            raise FormatError("word_bits must be in (0, 64]")
+        word_count = (self._length + word_bits - 1) // word_bits
+        words = np.zeros(word_count, dtype=np.uint64)
+        for index in self._indices.tolist():
+            words[index // word_bits] |= np.uint64(1) << np.uint64(index % word_bits)
+        return words
+
+    def storage_bits(self) -> int:
+        """Bits needed to store the mask plus 32-bit compressed values."""
+        return self._length + 32 * self.nnz
+
+    def intersect_mask(self, other: "BitVector") -> np.ndarray:
+        """Boolean AND of the two occupancy masks."""
+        self._check_compatible(other)
+        return self._mask & other._mask
+
+    def union_mask(self, other: "BitVector") -> np.ndarray:
+        """Boolean OR of the two occupancy masks."""
+        self._check_compatible(other)
+        return self._mask | other._mask
+
+    def compressed_position(self, index: int) -> int:
+        """Return the compressed-array slot of dense position ``index``.
+
+        Raises :class:`FormatError` if the bit at ``index`` is not set. This
+        is the prefix-sum lookup the scanner performs in hardware.
+        """
+        if index < 0 or index >= self._length:
+            raise FormatError(f"index {index} out of range")
+        if not self._mask[index]:
+            raise FormatError(f"bit {index} is not set")
+        return int(np.searchsorted(self._indices, index))
+
+    def iter_set_bits(self) -> Iterator[Tuple[int, float]]:
+        """Yield ``(index, value)`` for every set bit in ascending order."""
+        for index, value in zip(self._indices.tolist(), self._values.tolist()):
+            yield index, value
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitVector):
+            return NotImplemented
+        return (
+            self._length == other._length
+            and np.array_equal(self._indices, other._indices)
+            and np.allclose(self._values, other._values)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover
+        raise TypeError("BitVector objects are unhashable")
+
+    def __repr__(self) -> str:
+        return f"BitVector(length={self._length}, nnz={self.nnz})"
+
+    def _check_compatible(self, other: "BitVector") -> None:
+        if self._length != other._length:
+            raise FormatError(
+                f"bit-vector lengths differ: {self._length} vs {other._length}"
+            )

@@ -1,0 +1,109 @@
+"""Matrix-Market style I/O for sparse matrices.
+
+The paper's datasets come from the SuiteSparse collection, which distributes
+Matrix-Market (``.mtx``) files. This module reads and writes the coordinate
+Matrix-Market subset so locally generated stand-in datasets can be saved and
+reloaded, and real ``.mtx`` files can be used if available.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import List, Tuple, Union
+
+import numpy as np
+
+from ..errors import FormatError
+from .coo import COOMatrix
+from .csr import CSRMatrix
+
+PathLike = Union[str, pathlib.Path]
+
+
+def write_matrix_market(matrix: Union[COOMatrix, CSRMatrix], path: PathLike) -> None:
+    """Write a sparse matrix in Matrix-Market coordinate format.
+
+    General (non-symmetric) real coordinate output with 1-based indices, as
+    produced by the SuiteSparse collection.
+    """
+    rows, cols, values = matrix.to_coo_arrays()
+    shape = matrix.shape
+    lines: List[str] = [
+        "%%MatrixMarket matrix coordinate real general",
+        f"% written by repro.formats.io ({type(matrix).__name__})",
+        f"{shape[0]} {shape[1]} {values.size}",
+    ]
+    for r, c, v in zip(rows.tolist(), cols.tolist(), values.tolist()):
+        lines.append(f"{r + 1} {c + 1} {v:.17g}")
+    pathlib.Path(path).write_text("\n".join(lines) + "\n", encoding="ascii")
+
+
+def read_matrix_market(path: PathLike) -> COOMatrix:
+    """Read a Matrix-Market coordinate file into a COO matrix.
+
+    Supports ``general`` and ``symmetric`` real/integer/pattern coordinate
+    matrices, which covers the SuiteSparse matrices used in the paper.
+    """
+    text = pathlib.Path(path).read_text(encoding="ascii", errors="replace")
+    lines = text.splitlines()
+    if not lines:
+        raise FormatError(f"{path}: empty Matrix-Market file")
+    header = lines[0].strip().lower()
+    if not header.startswith("%%matrixmarket"):
+        raise FormatError(f"{path}: missing MatrixMarket header")
+    tokens = header.split()
+    if "coordinate" not in tokens:
+        raise FormatError(f"{path}: only coordinate format is supported")
+    symmetric = "symmetric" in tokens
+    pattern = "pattern" in tokens
+
+    body = [line for line in lines[1:] if line.strip() and not line.lstrip().startswith("%")]
+    if not body:
+        raise FormatError(f"{path}: missing size line")
+    size_parts = body[0].split()
+    if len(size_parts) != 3:
+        raise FormatError(f"{path}: malformed size line {body[0]!r}")
+    n_rows, n_cols, n_entries = (int(p) for p in size_parts)
+
+    entry_lines = body[1:]
+    if len(entry_lines) < n_entries:
+        raise FormatError(
+            f"{path}: expected {n_entries} entries, found {len(entry_lines)}"
+        )
+
+    rows: List[int] = []
+    cols: List[int] = []
+    values: List[float] = []
+    for line in entry_lines[:n_entries]:
+        parts = line.split()
+        if pattern:
+            if len(parts) < 2:
+                raise FormatError(f"{path}: malformed pattern entry {line!r}")
+            r, c, v = int(parts[0]) - 1, int(parts[1]) - 1, 1.0
+        else:
+            if len(parts) < 3:
+                raise FormatError(f"{path}: malformed entry {line!r}")
+            r, c, v = int(parts[0]) - 1, int(parts[1]) - 1, float(parts[2])
+        rows.append(r)
+        cols.append(c)
+        values.append(v)
+        if symmetric and r != c:
+            rows.append(c)
+            cols.append(r)
+            values.append(v)
+
+    return COOMatrix(
+        (n_rows, n_cols),
+        np.asarray(rows, dtype=np.int64),
+        np.asarray(cols, dtype=np.int64),
+        np.asarray(values, dtype=np.float64),
+    )
+
+
+def roundtrip_matches(matrix: Union[COOMatrix, CSRMatrix], path: PathLike) -> bool:
+    """Write ``matrix`` to ``path``, read it back, and compare densely."""
+    write_matrix_market(matrix, path)
+    loaded = read_matrix_market(path)
+    return bool(
+        matrix.shape == loaded.shape and np.allclose(matrix.to_dense(), loaded.to_dense())
+    )

@@ -1,0 +1,18 @@
+"""The Capstan programming model: loop nests, sparse scans, and memories."""
+
+from .loops import Counter, ExecutionTrace, Foreach, MemReduce, Reduce, Scan, nest_traces
+from .memory import AccessCounters, DramTensor, SparseTile, summarize_counters
+
+__all__ = [
+    "Counter",
+    "Scan",
+    "Foreach",
+    "Reduce",
+    "MemReduce",
+    "ExecutionTrace",
+    "nest_traces",
+    "AccessCounters",
+    "SparseTile",
+    "DramTensor",
+    "summarize_counters",
+]

@@ -1,0 +1,236 @@
+"""The Capstan programming model: loop nests with sparse loop headers
+(Section 2.3).
+
+Capstan programs are written as nested map-reduce loops in a dialect of
+Spatial. Dense loops iterate a counter; sparse loops replace the counter
+with a ``Scan`` over one or two bit-vectors:
+
+.. code-block:: python
+
+    # Dense:  Foreach(min until max by step par p) { j => ... }
+    Foreach(Counter(0, n, par=16), body=lambda j: ...)
+
+    # Sparse: Foreach(Scan(par=p, A.deq, B.deq)) { j, jA, jB, jp => ... }
+    Foreach(Scan(a_bits, b_bits, mode=ScanMode.INTERSECT), body=body)
+
+Loop bodies are ordinary Python callables (the "pure scalar function" of the
+map-reduce decomposition); reductions are expressed with :class:`Reduce`.
+Every loop execution also records how many iterations ran and with what
+vector occupancy in an :class:`ExecutionTrace`, which is what the
+application timing models consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..config import ScannerConfig
+from ..core.scanner import BitVectorScanner, ScanElement, ScanMode, ScanTiming
+from ..errors import ProgramError
+from ..formats.bitvector import BitVector
+
+
+@dataclass
+class ExecutionTrace:
+    """Statistics gathered while executing a loop nest.
+
+    Attributes:
+        dense_iterations: Iterations executed by dense loop headers.
+        sparse_iterations: Iterations produced by sparse (Scan) headers.
+        scan_invocations: Number of Scan headers executed.
+        scan_timings: Scanner timing records, one per Scan invocation.
+        vector_bodies: Vectorized body issues (ceil(iters / par) summed).
+        innermost_trip_counts: Trip count of every innermost loop instance,
+            used for vector-length underutilization analysis.
+    """
+
+    dense_iterations: int = 0
+    sparse_iterations: int = 0
+    scan_invocations: int = 0
+    scan_timings: List[ScanTiming] = field(default_factory=list)
+    vector_bodies: int = 0
+    innermost_trip_counts: List[int] = field(default_factory=list)
+
+    def merge(self, other: "ExecutionTrace") -> "ExecutionTrace":
+        """Combine two traces (e.g. from parallel loop instances)."""
+        return ExecutionTrace(
+            dense_iterations=self.dense_iterations + other.dense_iterations,
+            sparse_iterations=self.sparse_iterations + other.sparse_iterations,
+            scan_invocations=self.scan_invocations + other.scan_invocations,
+            scan_timings=self.scan_timings + other.scan_timings,
+            vector_bodies=self.vector_bodies + other.vector_bodies,
+            innermost_trip_counts=self.innermost_trip_counts + other.innermost_trip_counts,
+        )
+
+
+@dataclass(frozen=True)
+class Counter:
+    """A dense iteration domain: ``min until max by step par p``."""
+
+    start: int
+    stop: int
+    step: int = 1
+    par: int = 1
+
+    def __post_init__(self) -> None:
+        if self.step == 0:
+            raise ProgramError("counter step must be non-zero")
+        if self.par <= 0:
+            raise ProgramError("counter par must be positive")
+
+    def indices(self) -> range:
+        """The Python range this counter iterates."""
+        return range(self.start, self.stop, self.step)
+
+    @property
+    def trip_count(self) -> int:
+        """Number of iterations the counter produces."""
+        return len(self.indices())
+
+
+class Scan:
+    """A sparse iteration domain produced by the bit-vector scanner.
+
+    Args:
+        vector_a: First bit-vector operand.
+        vector_b: Optional second operand (two-operand scans).
+        mode: Intersection, union, or single-operand scan.
+        par: Output vectorization (elements consumed per cycle downstream).
+        scanner: Scanner configuration; defaults to the 256-in/16-out design.
+    """
+
+    def __init__(
+        self,
+        vector_a: BitVector,
+        vector_b: Optional[BitVector] = None,
+        mode: ScanMode = ScanMode.INTERSECT,
+        par: int = 16,
+        scanner: Optional[ScannerConfig] = None,
+    ):
+        if par <= 0:
+            raise ProgramError("scan par must be positive")
+        if vector_b is None and mode is not ScanMode.SINGLE:
+            mode = ScanMode.SINGLE
+        self.vector_a = vector_a
+        self.vector_b = vector_b
+        self.mode = mode
+        self.par = par
+        self._scanner = BitVectorScanner(scanner)
+
+    def elements(self) -> List[ScanElement]:
+        """All iteration tuples the scan produces (functional semantics)."""
+        return self._scanner.scan(self.vector_a, self.vector_b, self.mode)
+
+    def count(self) -> int:
+        """Number of iterations (written into the counter chain)."""
+        return self._scanner.count(self.vector_a, self.vector_b, self.mode)
+
+    def timing(self) -> ScanTiming:
+        """Scanner cycle cost of streaming this scan."""
+        return self._scanner.timing(self.vector_a, self.vector_b, self.mode)
+
+
+Domain = Union[Counter, Scan, Sequence[int]]
+
+
+def _domain_iterator(domain: Domain) -> Tuple[Iterator, int, bool]:
+    """Return (iterator, trip_count, is_sparse) for a loop domain."""
+    if isinstance(domain, Counter):
+        indices = domain.indices()
+        return iter(indices), len(indices), False
+    if isinstance(domain, Scan):
+        elements = domain.elements()
+        return iter(elements), len(elements), True
+    if isinstance(domain, (list, tuple, range)):
+        return iter(domain), len(domain), False
+    raise ProgramError(f"unsupported loop domain {type(domain).__name__}")
+
+
+def Foreach(
+    domain: Domain,
+    body: Callable,
+    trace: Optional[ExecutionTrace] = None,
+) -> ExecutionTrace:
+    """Execute ``body`` for every element of ``domain``.
+
+    Dense domains call ``body(index)``. Sparse (Scan) domains call
+    ``body(dense_index, index_a, index_b, ordinal)``, matching the
+    ``{ j, jA, jB, j' => ... }`` signature of the Capstan Spatial dialect.
+
+    Returns the :class:`ExecutionTrace` (the one passed in, if any).
+    """
+    trace = trace if trace is not None else ExecutionTrace()
+    iterator, trip_count, is_sparse = _domain_iterator(domain)
+    par = domain.par if isinstance(domain, (Counter, Scan)) else 1
+    if is_sparse:
+        assert isinstance(domain, Scan)
+        trace.scan_invocations += 1
+        trace.scan_timings.append(domain.timing())
+        for element in iterator:
+            body(element.dense_index, element.index_a, element.index_b, element.ordinal)
+        trace.sparse_iterations += trip_count
+    else:
+        for index in iterator:
+            body(index)
+        trace.dense_iterations += trip_count
+    trace.vector_bodies += (trip_count + par - 1) // par if trip_count else 0
+    trace.innermost_trip_counts.append(trip_count)
+    return trace
+
+
+def Reduce(
+    domain: Domain,
+    body: Callable,
+    combine: Callable[[float, float], float] = lambda a, b: a + b,
+    init: float = 0.0,
+    trace: Optional[ExecutionTrace] = None,
+) -> Tuple[float, ExecutionTrace]:
+    """Map ``body`` over ``domain`` and fold the results with ``combine``.
+
+    Dense domains call ``body(index)``; sparse domains call
+    ``body(dense_index, index_a, index_b, ordinal)``. Returns the reduced
+    value and the execution trace.
+    """
+    trace = trace if trace is not None else ExecutionTrace()
+    accumulator = init
+
+    def reducing_body(*args):
+        nonlocal accumulator
+        accumulator = combine(accumulator, body(*args))
+
+    Foreach(domain, reducing_body, trace=trace)
+    return accumulator, trace
+
+
+def MemReduce(
+    domain: Domain,
+    body: Callable,
+    accumulator: "list[float]",
+    index_of: Callable[..., int],
+    combine: Callable[[float, float], float] = lambda a, b: a + b,
+    trace: Optional[ExecutionTrace] = None,
+) -> ExecutionTrace:
+    """Reduce into a memory (list) indexed per iteration.
+
+    This models Capstan's in-place accumulation into an SRAM tile: every
+    iteration computes a value with ``body`` and combines it into
+    ``accumulator[index_of(*args)]``.
+    """
+    trace = trace if trace is not None else ExecutionTrace()
+
+    def accumulating_body(*args):
+        index = index_of(*args)
+        if index < 0 or index >= len(accumulator):
+            raise ProgramError(f"MemReduce index {index} out of range")
+        accumulator[index] = combine(accumulator[index], body(*args))
+
+    return Foreach(domain, accumulating_body, trace=trace)
+
+
+def nest_traces(traces: Iterable[ExecutionTrace]) -> ExecutionTrace:
+    """Merge the traces of sibling loop instances into one."""
+    merged = ExecutionTrace()
+    for trace in traces:
+        merged = merged.merge(trace)
+    return merged

@@ -1,0 +1,299 @@
+"""Program-level memory handles: sparse tiles and atomic accumulators.
+
+Application code written in the loop dialect needs named memories it can
+randomly read and update from loop bodies. :class:`SparseTile` wraps an
+SpMU-backed scratchpad region with the paper's read-modify-write operations
+and an ordering mode; :class:`DramTensor` wraps a DRAM-resident array
+accessed through address generators. Both record the access counts the
+timing model needs (random vs. streaming, reads vs. updates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core.ordering import OrderingMode
+from ..core.spmu import RMWOp
+from ..errors import ProgramError
+
+
+@dataclass
+class AccessCounters:
+    """Counts of the accesses a memory handle served.
+
+    Attributes:
+        random_reads: Element-granularity random reads.
+        random_updates: Element-granularity random read-modify-writes.
+        streaming_reads: Elements read sequentially.
+        streaming_writes: Elements written sequentially.
+    """
+
+    random_reads: int = 0
+    random_updates: int = 0
+    streaming_reads: int = 0
+    streaming_writes: int = 0
+
+    def merge(self, other: "AccessCounters") -> "AccessCounters":
+        """Element-wise sum of two counter records."""
+        return AccessCounters(
+            random_reads=self.random_reads + other.random_reads,
+            random_updates=self.random_updates + other.random_updates,
+            streaming_reads=self.streaming_reads + other.streaming_reads,
+            streaming_writes=self.streaming_writes + other.streaming_writes,
+        )
+
+    @property
+    def total_random(self) -> int:
+        """All random accesses (reads plus updates)."""
+        return self.random_reads + self.random_updates
+
+
+class SparseTile:
+    """An on-chip tile supporting random reads and atomic RMW updates.
+
+    This is the software view of data resident in one or more SpMUs. It is
+    functional (a numpy array) and counts accesses; the timing model
+    converts the counts into cycles using the SpMU's measured random-access
+    throughput for the configured ordering mode.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        ordering: OrderingMode = OrderingMode.UNORDERED,
+        name: str = "tile",
+        initial: Optional[np.ndarray] = None,
+    ):
+        if size <= 0:
+            raise ProgramError("tile size must be positive")
+        self._name = name
+        self._ordering = ordering
+        if initial is not None:
+            initial = np.asarray(initial, dtype=np.float64)
+            if initial.size != size:
+                raise ProgramError("initial data must match tile size")
+            self._data = initial.copy()
+        else:
+            self._data = np.zeros(size, dtype=np.float64)
+        self.counters = AccessCounters()
+
+    @property
+    def name(self) -> str:
+        """Human-readable tile name (used in access summaries)."""
+        return self._name
+
+    @property
+    def size(self) -> int:
+        """Number of 32-bit words in the tile."""
+        return self._data.size
+
+    @property
+    def ordering(self) -> OrderingMode:
+        """The ordering mode updates to this tile require."""
+        return self._ordering
+
+    def read(self, index: int) -> float:
+        """Random read of one element."""
+        self.counters.random_reads += 1
+        return float(self._data[self._check(index)])
+
+    def gather(self, indices: np.ndarray) -> np.ndarray:
+        """Random gather of several elements."""
+        indices = np.asarray(indices, dtype=np.int64)
+        self.counters.random_reads += int(indices.size)
+        return self._data[indices].copy()
+
+    def rmw(self, index: int, op: RMWOp, value: float = 0.0) -> float:
+        """Atomic read-modify-write of one element.
+
+        Returns the operation's result value (the same semantics as the
+        SpMU FPU: new value for ADD, changed flag for MIN_REPORT_CHANGED,
+        old value for SWAP / TEST_AND_SET / WRITE_IF_ZERO).
+        """
+        position = self._check(index)
+        old = float(self._data[position])
+        self.counters.random_updates += 1
+        new = old
+        result = old
+        if op is RMWOp.READ:
+            self.counters.random_updates -= 1
+            self.counters.random_reads += 1
+        elif op is RMWOp.WRITE:
+            new = value
+        elif op is RMWOp.ADD:
+            new = old + value
+            result = new
+        elif op is RMWOp.SUB:
+            new = old - value
+            result = new
+        elif op is RMWOp.MIN_REPORT_CHANGED:
+            new = min(old, value)
+            result = 1.0 if new != old else 0.0
+        elif op is RMWOp.MAX:
+            new = max(old, value)
+            result = new
+        elif op is RMWOp.SWAP:
+            new = value
+            result = old
+        elif op is RMWOp.TEST_AND_SET:
+            new = 1.0
+            result = old
+        elif op is RMWOp.WRITE_IF_ZERO:
+            if old == 0.0:
+                new = value
+            result = old
+        elif op is RMWOp.BIT_OR:
+            new = float(int(old) | int(value))
+            result = new
+        elif op is RMWOp.BIT_AND:
+            new = float(int(old) & int(value))
+            result = new
+        else:  # pragma: no cover - exhaustive enum
+            raise ProgramError(f"unsupported RMW op {op}")
+        self._data[position] = new
+        return result
+
+    def accumulate(self, index: int, value: float) -> float:
+        """Shorthand for an atomic add."""
+        return self.rmw(index, RMWOp.ADD, value)
+
+    def fill(self, value: float) -> None:
+        """Streaming fill of the whole tile."""
+        self.counters.streaming_writes += self._data.size
+        self._data[:] = value
+
+    def load_stream(self, values: np.ndarray, base: int = 0) -> None:
+        """Streaming load of sequential values into the tile."""
+        values = np.asarray(values, dtype=np.float64)
+        if base < 0 or base + values.size > self._data.size:
+            raise ProgramError("streaming load outside tile")
+        self.counters.streaming_writes += int(values.size)
+        self._data[base : base + values.size] = values
+
+    def store_stream(self, base: int = 0, count: Optional[int] = None) -> np.ndarray:
+        """Streaming read of sequential values out of the tile."""
+        count = self._data.size - base if count is None else count
+        if base < 0 or base + count > self._data.size:
+            raise ProgramError("streaming store outside tile")
+        self.counters.streaming_reads += int(count)
+        return self._data[base : base + count].copy()
+
+    def swap_clear(self) -> np.ndarray:
+        """Atomically read out the tile and clear it (SpMSpM's swap-with-zero)."""
+        self.counters.random_updates += int(np.count_nonzero(self._data))
+        contents = self._data.copy()
+        self._data[:] = 0.0
+        return contents
+
+    def snapshot(self) -> np.ndarray:
+        """A copy of the tile contents without counting an access."""
+        return self._data.copy()
+
+    def _check(self, index: int) -> int:
+        if index < 0 or index >= self._data.size:
+            raise ProgramError(f"tile index {index} out of range [0, {self._data.size})")
+        return int(index)
+
+
+class DramTensor:
+    """A DRAM-resident tensor accessed through address generators.
+
+    Functionally a flat numpy array; the counters distinguish streaming
+    loads/stores from random (atomic) element updates because they have very
+    different DRAM costs.
+    """
+
+    def __init__(self, size: int, name: str = "tensor", initial: Optional[np.ndarray] = None):
+        if size <= 0:
+            raise ProgramError("tensor size must be positive")
+        self._name = name
+        if initial is not None:
+            initial = np.asarray(initial, dtype=np.float64)
+            if initial.size != size:
+                raise ProgramError("initial data must match tensor size")
+            self._data = initial.copy()
+        else:
+            self._data = np.zeros(size, dtype=np.float64)
+        self.counters = AccessCounters()
+
+    @property
+    def name(self) -> str:
+        """Human-readable tensor name."""
+        return self._name
+
+    @property
+    def size(self) -> int:
+        """Number of 32-bit words."""
+        return self._data.size
+
+    def stream_read(self, base: int = 0, count: Optional[int] = None) -> np.ndarray:
+        """Sequential read of ``count`` elements starting at ``base``."""
+        count = self._data.size - base if count is None else count
+        if base < 0 or base + count > self._data.size:
+            raise ProgramError("stream_read outside tensor")
+        self.counters.streaming_reads += int(count)
+        return self._data[base : base + count].copy()
+
+    def stream_write(self, values: np.ndarray, base: int = 0) -> None:
+        """Sequential write of ``values`` starting at ``base``."""
+        values = np.asarray(values, dtype=np.float64)
+        if base < 0 or base + values.size > self._data.size:
+            raise ProgramError("stream_write outside tensor")
+        self.counters.streaming_writes += int(values.size)
+        self._data[base : base + values.size] = values
+
+    def random_read(self, index: int) -> float:
+        """Random read of one element (one DRAM burst)."""
+        if index < 0 or index >= self._data.size:
+            raise ProgramError("random_read outside tensor")
+        self.counters.random_reads += 1
+        return float(self._data[index])
+
+    def atomic_update(self, index: int, op: RMWOp, value: float) -> float:
+        """Atomic DRAM read-modify-write through the address generator."""
+        if index < 0 or index >= self._data.size:
+            raise ProgramError("atomic_update outside tensor")
+        self.counters.random_updates += 1
+        old = float(self._data[index])
+        new = old
+        result = old
+        if op is RMWOp.ADD:
+            new = old + value
+            result = new
+        elif op is RMWOp.MIN_REPORT_CHANGED:
+            new = min(old, value)
+            result = 1.0 if new != old else 0.0
+        elif op is RMWOp.MAX:
+            new = max(old, value)
+            result = new
+        elif op is RMWOp.WRITE:
+            new = value
+        elif op is RMWOp.WRITE_IF_ZERO:
+            if old == 0.0:
+                new = value
+            result = old
+        elif op is RMWOp.TEST_AND_SET:
+            new = 1.0
+            result = old
+        elif op is RMWOp.BIT_OR:
+            new = float(int(old) | int(value))
+            result = new
+        else:
+            raise ProgramError(f"unsupported atomic DRAM op {op}")
+        self._data[index] = new
+        return result
+
+    def snapshot(self) -> np.ndarray:
+        """A copy of the contents without counting an access."""
+        return self._data.copy()
+
+
+def summarize_counters(handles: Dict[str, AccessCounters]) -> AccessCounters:
+    """Merge the access counters of several memory handles."""
+    total = AccessCounters()
+    for counters in handles.values():
+        total = total.merge(counters)
+    return total

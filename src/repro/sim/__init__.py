@@ -1,0 +1,25 @@
+"""Simulation substrate: DRAM, SRAM, network models, queues, and stall stats."""
+
+from .dram import BURST_BYTES, DRAMModel, TrafficSummary
+from .network import NetworkConfig, OnChipNetwork, cross_tile_traffic_cycles
+from .queues import BoundedFIFO, CreditLink, stream_through
+from .sram import BankedScratchpad, StaticBankTiming
+from .stats import STALL_CATEGORIES, RunMetrics, StallBreakdown, geometric_mean
+
+__all__ = [
+    "BURST_BYTES",
+    "DRAMModel",
+    "TrafficSummary",
+    "NetworkConfig",
+    "OnChipNetwork",
+    "cross_tile_traffic_cycles",
+    "BoundedFIFO",
+    "CreditLink",
+    "stream_through",
+    "BankedScratchpad",
+    "StaticBankTiming",
+    "STALL_CATEGORIES",
+    "RunMetrics",
+    "StallBreakdown",
+    "geometric_mean",
+]

@@ -1,0 +1,158 @@
+"""Bounded FIFOs and credit-based links.
+
+Capstan's loosely timed interconnect relies on per-link buffering so that
+producers and consumers do not need global synchronization; the SpMU's
+reordering also depends on deep enough buffers to hide the scheduling
+latency (Section 3.2 notes each additional cycle of memory latency needs
+one more inverse-permutation FIFO slot). These small primitives are used by
+component tests and by the shuffle/network models.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generic, Iterable, List, Optional, TypeVar
+
+from ..errors import SimulationError
+
+T = TypeVar("T")
+
+
+class BoundedFIFO(Generic[T]):
+    """A bounded first-in first-out queue with occupancy statistics."""
+
+    def __init__(self, depth: int):
+        if depth <= 0:
+            raise SimulationError("FIFO depth must be positive")
+        self._depth = depth
+        self._items: Deque[T] = deque()
+        self._max_occupancy = 0
+        self._pushes = 0
+        self._full_rejections = 0
+
+    @property
+    def depth(self) -> int:
+        """Maximum number of buffered items."""
+        return self._depth
+
+    @property
+    def occupancy(self) -> int:
+        """Items currently buffered."""
+        return len(self._items)
+
+    @property
+    def max_occupancy(self) -> int:
+        """High-water mark of buffered items."""
+        return self._max_occupancy
+
+    @property
+    def full_rejections(self) -> int:
+        """Number of pushes rejected because the FIFO was full."""
+        return self._full_rejections
+
+    def is_full(self) -> bool:
+        """Whether the FIFO cannot accept another item."""
+        return len(self._items) >= self._depth
+
+    def is_empty(self) -> bool:
+        """Whether the FIFO has no items."""
+        return not self._items
+
+    def push(self, item: T) -> bool:
+        """Push an item; returns ``False`` (and counts) if the FIFO is full."""
+        if self.is_full():
+            self._full_rejections += 1
+            return False
+        self._items.append(item)
+        self._pushes += 1
+        self._max_occupancy = max(self._max_occupancy, len(self._items))
+        return True
+
+    def pop(self) -> T:
+        """Pop the oldest item; raises if empty."""
+        if not self._items:
+            raise SimulationError("pop from empty FIFO")
+        return self._items.popleft()
+
+    def peek(self) -> Optional[T]:
+        """The oldest item without removing it, or ``None`` if empty."""
+        return self._items[0] if self._items else None
+
+    def drain(self) -> List[T]:
+        """Remove and return every buffered item in order."""
+        items = list(self._items)
+        self._items.clear()
+        return items
+
+
+class CreditLink(Generic[T]):
+    """A credit-based flow-controlled link between a producer and consumer.
+
+    The producer may send only while it holds credits; the consumer returns
+    a credit whenever it accepts an item. This mirrors the per-link
+    buffering of the on-chip network.
+    """
+
+    def __init__(self, credits: int):
+        if credits <= 0:
+            raise SimulationError("credit count must be positive")
+        self._initial_credits = credits
+        self._credits = credits
+        self._buffer: Deque[T] = deque()
+        self._stalled_sends = 0
+
+    @property
+    def credits(self) -> int:
+        """Credits currently held by the producer."""
+        return self._credits
+
+    @property
+    def stalled_sends(self) -> int:
+        """Send attempts rejected for lack of credits."""
+        return self._stalled_sends
+
+    @property
+    def in_flight(self) -> int:
+        """Items buffered in the link awaiting the consumer."""
+        return len(self._buffer)
+
+    def send(self, item: T) -> bool:
+        """Producer side: send an item if a credit is available."""
+        if self._credits <= 0:
+            self._stalled_sends += 1
+            return False
+        self._credits -= 1
+        self._buffer.append(item)
+        return True
+
+    def receive(self) -> Optional[T]:
+        """Consumer side: accept the oldest item and return a credit."""
+        if not self._buffer:
+            return None
+        self._credits += 1
+        if self._credits > self._initial_credits:
+            raise SimulationError("credit overflow: more credits returned than issued")
+        return self._buffer.popleft()
+
+    def receive_all(self) -> List[T]:
+        """Accept every buffered item, returning all their credits."""
+        items: List[T] = []
+        while self._buffer:
+            received = self.receive()
+            if received is not None:
+                items.append(received)
+        return items
+
+
+def stream_through(fifo: BoundedFIFO[T], items: Iterable[T]) -> int:
+    """Push items through a FIFO, popping when full; returns pop count.
+
+    A convenience helper for tests that emulates a consumer keeping pace
+    with a producer through a bounded buffer.
+    """
+    pops = 0
+    for item in items:
+        while not fifo.push(item):
+            fifo.pop()
+            pops += 1
+    return pops

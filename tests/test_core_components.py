@@ -1,0 +1,300 @@
+"""Tests for bank hashing, Bloom filter, shuffle network, compression,
+format conversion, compute unit, address generators, and the area model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import CapstanConfig, ShuffleConfig, ShuffleMode
+from repro.core import (
+    BloomFilter,
+    ComputeUnit,
+    DRAMAddressGenerator,
+    FormatConverter,
+    MemoryRequest,
+    PartitionedDRAM,
+    RMWOp,
+    ShuffleNetwork,
+    ShuffleRequest,
+    area_overhead_vs_plasticine,
+    capstan_area,
+    compress_pointer_array,
+    compression_ratio,
+    conflict_count,
+    decompress_packets,
+    distribute_work,
+    hashed_bank,
+    hashed_banks_array,
+    linear_bank,
+    merge_efficiency,
+    plasticine_area,
+    power_overhead_vs_plasticine,
+    scanner_area_um2,
+    scheduler_area_um2,
+)
+from repro.errors import SimulationError
+
+
+class TestBankHashing:
+    def test_linear_mapping(self):
+        assert linear_bank(17, 16) == 1
+
+    def test_hash_spreads_power_of_two_strides(self):
+        # Stride 16 with a linear map hits one bank; the hash spreads it.
+        addresses = [i * 16 for i in range(16)]
+        assert conflict_count(addresses, 16, "linear") == 16
+        assert conflict_count(addresses, 16, "hash") <= 2
+
+    def test_hash_array_matches_scalar(self):
+        addresses = np.arange(0, 1000, 7)
+        array = hashed_banks_array(addresses, 16)
+        scalars = [hashed_bank(int(a), 16) for a in addresses]
+        assert array.tolist() == scalars
+
+    @given(st.integers(min_value=0, max_value=2**20))
+    @settings(max_examples=100, deadline=None)
+    def test_hash_in_range(self, address):
+        assert 0 <= hashed_bank(address, 16) < 16
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            conflict_count([1], 16, "bogus")
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(128)
+        for address in range(50):
+            bloom.insert(address)
+        assert all(bloom.may_contain(address) for address in range(50))
+
+    def test_remove_clears(self):
+        bloom = BloomFilter(128)
+        bloom.insert(42)
+        bloom.remove(42)
+        assert not bloom.may_contain(42)
+        assert bloom.inserted == 0
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(ValueError):
+            BloomFilter(64).remove(9)
+
+    def test_false_positive_rate_grows_with_load(self):
+        bloom = BloomFilter(64)
+        empty_rate = bloom.false_positive_rate_estimate()
+        for address in range(60):
+            bloom.insert(address)
+        assert bloom.false_positive_rate_estimate() > empty_rate
+
+    def test_clear(self):
+        bloom = BloomFilter(32)
+        bloom.insert(1)
+        bloom.clear()
+        assert not bloom.may_contain(1)
+
+
+class TestShuffleNetwork:
+    def _vectors(self, sources=4, lanes=16, partitions=4, cross=0.5, seed=0):
+        rng = np.random.default_rng(seed)
+        out = {}
+        for source in range(sources):
+            vector = []
+            for lane in range(lanes):
+                dest = int(rng.integers(0, partitions)) if rng.random() < cross else source
+                address = dest * (2**16 // partitions) + int(rng.integers(0, 256))
+                vector.append(ShuffleRequest(source=source, lane=lane, address=address))
+            out[source] = vector
+        return out
+
+    def test_all_requests_delivered(self):
+        network = ShuffleNetwork(ShuffleConfig(mode=ShuffleMode.MRG1))
+        vectors = self._vectors()
+        outputs, stats = network.route(vectors, partitions=4)
+        delivered = sum(
+            sum(1 for slot in vector if slot is not None)
+            for vecs in outputs.values()
+            for vector in vecs
+        )
+        assert delivered == 4 * 16
+        assert stats.input_vectors == 4
+
+    def test_requests_routed_to_correct_partition(self):
+        network = ShuffleNetwork(ShuffleConfig(mode=ShuffleMode.MRG16))
+        vectors = self._vectors(seed=3)
+        outputs, _ = network.route(vectors, partitions=4)
+        for destination, vecs in outputs.items():
+            for vector in vecs:
+                for request in vector:
+                    if request is not None:
+                        assert (request.address // (2**16 // 4)) % 4 == destination
+
+    def test_mrg1_beats_none(self):
+        eff_none = merge_efficiency(ShuffleMode.NONE, cross_partition_fraction=0.5, vectors=16)
+        eff_mrg1 = merge_efficiency(ShuffleMode.MRG1, cross_partition_fraction=0.5, vectors=16)
+        assert eff_mrg1 > eff_none
+
+    def test_mrg16_at_least_mrg0(self):
+        eff_mrg0 = merge_efficiency(ShuffleMode.MRG0, cross_partition_fraction=0.7, vectors=16)
+        eff_mrg16 = merge_efficiency(ShuffleMode.MRG16, cross_partition_fraction=0.7, vectors=16)
+        assert eff_mrg16 >= eff_mrg0 * 0.95
+
+    def test_stage_count(self):
+        network = ShuffleNetwork(ShuffleConfig(endpoints=16))
+        assert network.stages == 4
+
+
+class TestCompression:
+    def test_roundtrip(self):
+        values = np.array([100, 101, 103, 110, 200, 201] * 8, dtype=np.int64)
+        packets, report = compress_pointer_array(values)
+        assert np.array_equal(decompress_packets(packets), values)
+        assert report.ratio > 1.0
+
+    def test_close_values_compress_well(self):
+        clustered = np.arange(1000, 1064)
+        spread = np.random.default_rng(0).integers(0, 2**30, size=64)
+        assert compression_ratio(clustered) > compression_ratio(spread)
+
+    def test_empty_array(self):
+        packets, report = compress_pointer_array(np.array([], dtype=np.int64))
+        assert packets == []
+        assert report.ratio == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            compress_pointer_array(np.array([-1]))
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**31 - 1), max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, values):
+        array = np.array(values, dtype=np.int64)
+        packets, _ = compress_pointer_array(array)
+        assert np.array_equal(decompress_packets(packets), array)
+
+
+class TestFormatConverter:
+    def test_convert_produces_expected_bitvector(self):
+        converter = FormatConverter()
+        vector, stats = converter.convert(64, np.array([3, 10, 40]))
+        assert vector.indices.tolist() == [3, 10, 40]
+        assert stats.cycles == 1
+        assert stats.pointers == 3
+
+    def test_conflict_counting(self):
+        converter = FormatConverter(lanes=16, word_bits=32)
+        # Sixteen pointers in the same 32-bit word collide 15 times.
+        _, stats = converter.convert(64, np.arange(16))
+        assert stats.spmu_word_conflicts == 15
+
+    def test_out_of_range(self):
+        with pytest.raises(SimulationError):
+            FormatConverter().convert(8, np.array([9]))
+
+    def test_convert_many_aggregates(self):
+        converter = FormatConverter()
+        vectors, stats = converter.convert_many(128, [np.array([1]), np.array([2, 3])])
+        assert len(vectors) == 2
+        assert stats.pointers == 3
+
+
+class TestComputeUnit:
+    def test_map_cycles(self):
+        cu = ComputeUnit(lanes=16)
+        assert cu.map_cycles(32) == 2
+        assert cu.map_cycles(33) == 3
+
+    def test_ragged_counts_empty_rows(self):
+        cu = ComputeUnit(lanes=16)
+        assert cu.map_cycles_ragged([0, 5, 40]) == 1 + 1 + 3
+
+    def test_reduce_cycles(self):
+        cu = ComputeUnit(lanes=16)
+        assert cu.reduce_cycles(16) == 1 + 4
+
+    def test_utilization_tracking(self):
+        cu = ComputeUnit(lanes=16)
+        cu.map_cycles(8)
+        assert cu.activity.utilization == pytest.approx(0.5)
+
+    def test_distribute_work_imbalance(self):
+        distribution = distribute_work([10, 10, 10, 100], units=2)
+        assert distribution.critical_path_cycles == 110
+        assert distribution.imbalance_cycles > 0
+
+    def test_distribute_balanced(self):
+        distribution = distribute_work([5] * 8, units=4)
+        assert distribution.imbalance_fraction == 0.0
+
+
+class TestAddressGenerator:
+    def test_atomic_add_applies(self):
+        ag = DRAMAddressGenerator(region_words=256)
+        ag.process_vector([MemoryRequest(address=5, op=RMWOp.ADD, value=2.0)] * 3)
+        assert ag.data()[5] == 6.0
+
+    def test_burst_coalescing(self):
+        ag = DRAMAddressGenerator(region_words=256)
+        ag.process_vector([MemoryRequest(address=i, op=RMWOp.ADD, value=1.0) for i in range(16)])
+        assert ag.stats.bursts_read == 1
+        assert ag.stats.coalesced_requests == 15
+
+    def test_sequential_streaming(self):
+        ag = DRAMAddressGenerator(region_words=1024)
+        ag.read_sequential(0, 128)
+        assert ag.stats.bursts_read == 8
+        assert ag.stats.sequential_bursts == 7
+
+    def test_eviction_writes_back_dirty(self):
+        ag = DRAMAddressGenerator(region_words=4096, burst_tracking_entries=2)
+        for burst in range(4):
+            ag.process_vector([MemoryRequest(address=burst * 16, op=RMWOp.ADD, value=1.0)])
+        assert ag.stats.bursts_written >= 2
+
+    def test_partitioned_dram_routing(self):
+        dram = PartitionedDRAM(total_words=800, generators=8)
+        dram.process([MemoryRequest(address=750, op=RMWOp.ADD, value=3.0)])
+        ag_index, local = dram.ag_for(750)
+        assert dram.generator(ag_index).data()[local] == 3.0
+
+    def test_out_of_region(self):
+        ag = DRAMAddressGenerator(region_words=16)
+        with pytest.raises(SimulationError):
+            ag.process_vector([MemoryRequest(address=99, op=RMWOp.READ)])
+
+
+class TestAreaModel:
+    def test_paper_overheads(self):
+        assert area_overhead_vs_plasticine() == pytest.approx(0.16, abs=0.02)
+        assert power_overhead_vs_plasticine() == pytest.approx(0.12, abs=0.02)
+
+    def test_totals_match_paper(self):
+        assert plasticine_area().total_mm2 == pytest.approx(158.6, rel=0.01)
+        assert capstan_area().total_mm2 == pytest.approx(184.5, rel=0.02)
+
+    def test_scanner_area_table_points(self):
+        assert scanner_area_um2(256, 16) == 19898
+        assert scanner_area_um2(512, 1) == 7777
+
+    def test_scanner_area_monotonic(self):
+        assert scanner_area_um2(512, 16) > scanner_area_um2(256, 16) > scanner_area_um2(128, 16)
+        assert scanner_area_um2(256, 16) > scanner_area_um2(256, 4)
+
+    def test_scheduler_area_table_points(self):
+        assert scheduler_area_um2(16, 16) == 51359
+        assert scheduler_area_um2(32, 32) == 90433
+
+    def test_scheduler_area_extrapolates(self):
+        assert scheduler_area_um2(64, 16) > scheduler_area_um2(32, 16)
+
+    def test_sparse_fraction_halves_overhead(self):
+        import dataclasses
+
+        half = dataclasses.replace(CapstanConfig(), sparse_fraction=0.5)
+        assert area_overhead_vs_plasticine(half) < area_overhead_vs_plasticine() * 0.7
+
+    def test_area_scales_with_grid(self):
+        small = capstan_area(CapstanConfig().scaled(0.5))
+        assert small.total_mm2 < capstan_area().total_mm2

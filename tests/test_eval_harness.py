@@ -1,0 +1,184 @@
+"""Integration tests for the evaluation harness (tables and figures).
+
+These run the full pipeline (functional app execution -> profile -> timing
+model -> table/figure rows) at a small dataset scale and assert the
+qualitative claims of the paper: who wins, which design points are ranked
+where, and which knobs matter.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import (
+    APP_DATASETS,
+    APP_ORDER,
+    collect_profiles,
+    figure4_ordering_trace,
+    figure5a_bandwidth_sensitivity,
+    figure5b_area_sensitivity,
+    figure5c_compression_sensitivity,
+    figure7_stall_breakdown,
+    format_mapping,
+    format_series,
+    format_table,
+    paper_vs_measured,
+    table4_spmu_throughput,
+    table5_scanner_area,
+    table8_area,
+    table9_spmu_sensitivity,
+    table10_ordering_modes,
+    table11_shuffle_sensitivity,
+    table12_performance,
+    table13_asic_comparison,
+)
+
+#: Small-but-representative subset used for the heavier harness tests.
+SUBSET_APPS = ["spmv-csr", "spmv-coo", "spmv-csc", "bfs", "pagerank-edge", "spadd"]
+
+
+@pytest.fixture(scope="module")
+def profile_set():
+    return collect_profiles(apps=SUBSET_APPS, scale=1 / 256)
+
+
+class TestExperimentInfrastructure:
+    def test_every_app_has_three_datasets(self):
+        for app in APP_ORDER:
+            assert len(APP_DATASETS[app]) == 3
+
+    def test_collect_profiles_covers_requested_apps(self, profile_set):
+        assert set(profile_set.apps()) == set(SUBSET_APPS)
+        for app in SUBSET_APPS:
+            assert len(profile_set.for_app(app)) == 3
+
+    def test_profiles_are_nontrivial(self, profile_set):
+        for (_, _), profile in profile_set.profiles.items():
+            assert profile.compute_iterations > 0
+            assert profile.vector_slots > 0
+
+
+class TestTable4:
+    def test_throughput_improves_with_depth_and_priorities(self):
+        rows = table4_spmu_throughput(depths=(8, 16), crossbars=(16,), priorities=(1, 3), vectors=80)
+        by_depth = {row["depth"]: row for row in rows}
+        assert by_depth[16]["measured_3pri_pct"] > by_depth[8]["measured_1pri_pct"]
+        for row in rows:
+            # Priorities mainly combat head-of-line blocking; allow a small
+            # measurement-noise band on the short microbenchmark trace.
+            assert row["measured_3pri_pct"] >= row["measured_1pri_pct"] - 6.0
+
+    def test_paper_reference_attached(self):
+        rows = table4_spmu_throughput(depths=(16,), crossbars=(16,), priorities=(3,), vectors=40)
+        assert rows[0]["paper_3pri_pct"] == 79.9
+        assert rows[0]["scheduler_area_um2"] == 51359
+
+
+class TestTables5And8:
+    def test_table5_matches_paper_exactly(self):
+        rows = table5_scanner_area()
+        assert rows[1]["width"] == 256
+        assert rows[1]["out16_um2"] == 19898
+
+    def test_table8_overheads(self):
+        result = table8_area()
+        assert result["area_overhead"] == pytest.approx(result["paper_area_overhead"], abs=0.03)
+        assert result["power_overhead"] == pytest.approx(result["paper_power_overhead"], abs=0.03)
+
+
+class TestTables9Through11:
+    def test_table9_ranking(self, profile_set):
+        result = table9_spmu_sensitivity(profile_set)
+        gmean = result["gmean"]
+        assert gmean["ideal"] <= gmean["capstan-hash"] <= gmean["arbitrated-hash"]
+        assert gmean["capstan-hash"] <= gmean["capstan-linear"]
+        assert gmean["arbitrated-linear"] >= gmean["arbitrated-hash"]
+
+    def test_table10_ordering_ranking(self, profile_set):
+        result = table10_ordering_modes(profile_set)
+        gmean = result["gmean"]
+        assert gmean["unordered"] == pytest.approx(1.0)
+        assert gmean["address-ordered"] >= 1.0
+        assert gmean["fully-ordered"] >= gmean["address-ordered"]
+
+    def test_table11_no_network_is_slowest(self, profile_set):
+        result = table11_shuffle_sensitivity(profile_set)
+        for app, modes in result["per_app"].items():
+            assert modes["none"] >= modes["mrg-1"] - 1e-6
+            assert modes["mrg-16"] <= modes["none"] + 1e-6
+
+
+class TestTables12And13:
+    def test_table12_platform_ranking(self, profile_set):
+        result = table12_performance(profile_set)
+        gmean = result["gmean"]
+        assert gmean["capstan-ideal"] <= gmean["capstan-hbm2e"] <= gmean["capstan-hbm2"]
+        assert gmean["capstan-hbm2"] <= gmean["capstan-ddr4"]
+        assert gmean["cpu-xeon"] > gmean["capstan-hbm2e"]
+        assert gmean["gpu-v100"] > gmean["capstan-hbm2e"]
+        assert gmean["plasticine-hbm2e"] > gmean["capstan-hbm2e"]
+
+    def test_table12_cpu_slower_than_gpu(self, profile_set):
+        result = table12_performance(profile_set)
+        assert result["gmean"]["cpu-xeon"] > result["gmean"]["gpu-v100"]
+
+    def test_table13_matraptor_capstan_wins_big(self):
+        profiles = collect_profiles(apps=["spmv-csc", "conv", "pagerank-edge", "bfs", "sssp", "spmspm"], scale=1 / 256)
+        result = table13_asic_comparison(profiles)
+        assert result["speedup"]["matraptor"] > 2.0
+        assert result["speedup"]["eie"] < result["speedup"]["matraptor"]
+
+
+class TestFigures:
+    def test_figure4_mode_ranking(self):
+        result = figure4_ordering_trace(vectors=60)
+        measured = result["measured_utilization_pct"]
+        assert measured["unordered"] > measured["arbitrated"]
+        assert measured["unordered"] > measured["fully-ordered"]
+        assert measured["address-ordered"] > measured["fully-ordered"]
+
+    def test_figure5a_memory_bound_apps_scale(self, profile_set):
+        series = figure5a_bandwidth_sensitivity(profile_set, bandwidths_gbps=(20, 200, 2000))
+        for app in ("spmv-csr", "pagerank-edge"):
+            speedups = series[app]
+            assert speedups[-1] > speedups[0]
+            assert all(b >= a - 1e-6 for a, b in zip(speedups, speedups[1:]))
+
+    def test_figure5b_parallelism_scales(self, profile_set):
+        series = figure5b_area_sensitivity(profile_set, parallelism_points=(2, 8, 32))
+        for app in SUBSET_APPS:
+            assert series[app][-1] > series[app][0]
+
+    def test_figure5c_compression_helps_pointer_heavy_apps(self, profile_set):
+        series = figure5c_compression_sensitivity(profile_set, bandwidths_gbps=(20, 68))
+        assert max(series["spmv-coo"]) >= max(series["spmv-csr"]) - 0.05
+        for app in SUBSET_APPS:
+            assert all(s >= 0.99 for s in series[app])
+
+    def test_figure7_fractions_sum_to_one(self, profile_set):
+        breakdown = figure7_stall_breakdown(profile_set)
+        for app, fractions in breakdown.items():
+            assert sum(fractions.values()) == pytest.approx(1.0, abs=1e-6)
+            assert fractions["active"] > 0
+
+    def test_figure7_bfs_network_heavy(self, profile_set):
+        breakdown = figure7_stall_breakdown(profile_set)
+        assert breakdown["bfs"]["network"] > breakdown["spmv-csr"]["network"]
+
+
+class TestReportFormatting:
+    def test_format_table(self):
+        text = format_table([{"a": 1, "b": 2.5}], ["a", "b"], title="T")
+        assert "T" in text and "2.50" in text
+
+    def test_format_mapping(self):
+        text = format_mapping({"x": 1.234}, title="M")
+        assert "1.23" in text
+
+    def test_paper_vs_measured(self):
+        text = paper_vs_measured({"x": 1.0}, {"x": 2.0, "y": 3.0})
+        assert "x" in text and "y" in text
+
+    def test_format_series(self):
+        text = format_series({"bw": [1, 2], "app": [1.0, 2.0]}, x_key="bw")
+        assert "app" in text

@@ -1,0 +1,273 @@
+"""Tests for the simulation substrate (DRAM, SRAM, network, queues, stats)
+and the sparse-iteration programming model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import MemoryTechnology, ScannerConfig
+from repro.core import RMWOp, ScanMode
+from repro.errors import ProgramError, SimulationError
+from repro.formats import BitVector
+from repro.lang import (
+    Counter,
+    DramTensor,
+    ExecutionTrace,
+    Foreach,
+    MemReduce,
+    Reduce,
+    Scan,
+    SparseTile,
+)
+from repro.sim import (
+    BankedScratchpad,
+    BoundedFIFO,
+    CreditLink,
+    DRAMModel,
+    NetworkConfig,
+    OnChipNetwork,
+    RunMetrics,
+    StallBreakdown,
+    StaticBankTiming,
+    TrafficSummary,
+    cross_tile_traffic_cycles,
+    geometric_mean,
+)
+
+
+class TestDRAMModel:
+    def test_bandwidth_ordering(self):
+        ddr4 = DRAMModel(MemoryTechnology.DDR4)
+        hbm2e = DRAMModel(MemoryTechnology.HBM2E)
+        assert ddr4.streaming_cycles(1e6) > hbm2e.streaming_cycles(1e6)
+
+    def test_random_slower_than_streaming(self):
+        model = DRAMModel(MemoryTechnology.HBM2)
+        accesses = 1000
+        assert model.random_cycles(accesses) > model.streaming_cycles(accesses * 4)
+
+    def test_ideal_memory_is_free(self):
+        model = DRAMModel(MemoryTechnology.IDEAL)
+        assert model.streaming_cycles(1e9) == 0.0
+        assert model.random_cycles(1000) == 0.0
+
+    def test_rmw_counts_two_bursts(self):
+        model = DRAMModel(MemoryTechnology.HBM2E)
+        assert model.rmw_cycles(10) == pytest.approx(model.random_cycles(20))
+
+    def test_traffic_summary(self):
+        model = DRAMModel(MemoryTechnology.DDR4)
+        traffic = TrafficSummary(streaming_read_bytes=1e6, random_accesses=100)
+        assert model.traffic_cycles(traffic) > model.streaming_cycles(1e6)
+
+    def test_bandwidth_override(self):
+        model = DRAMModel(MemoryTechnology.HBM2E)
+        slower = model.with_bandwidth(100.0)
+        assert slower.streaming_cycles(1e6) > model.streaming_cycles(1e6)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(SimulationError):
+            DRAMModel().streaming_cycles(-1)
+
+
+class TestSRAMModels:
+    def test_static_bank_timing(self):
+        timing = StaticBankTiming()
+        assert timing.random_read_cycles(100) == 100
+        assert timing.random_rmw_cycles(10) == 50
+
+    def test_scratchpad_conflict_accounting(self):
+        pad = BankedScratchpad(banks=4)
+        pad.read([0, 4, 8, 12])  # all map to bank 0
+        assert pad.access_cycles == 4
+        pad.read([0, 1, 2, 3])  # conflict-free
+        assert pad.access_cycles == 5
+
+    def test_scratchpad_functional(self):
+        pad = BankedScratchpad()
+        pad.write([3, 7], [1.5, 2.5])
+        assert pad.read([3, 7]).tolist() == [1.5, 2.5]
+        pad.accumulate([3], [0.5])
+        assert pad.read([3])[0] == 2.0
+
+    def test_scratchpad_bounds(self):
+        with pytest.raises(SimulationError):
+            BankedScratchpad(banks=4, words_per_bank=4).read([99])
+
+
+class TestNetwork:
+    def test_average_latency_positive(self):
+        network = OnChipNetwork()
+        assert network.average_latency_cycles > 0
+
+    def test_round_trip_scales_with_rounds(self):
+        network = OnChipNetwork()
+        assert network.round_trip_cycles(10) == pytest.approx(10 * 2 * network.average_latency_cycles)
+
+    def test_streaming_amortizes_latency(self):
+        network = OnChipNetwork()
+        few = network.streaming_transfer_cycles(1)
+        many = network.streaming_transfer_cycles(1000)
+        assert many < 1000 * few
+
+    def test_congestion_factor_monotonic(self):
+        network = OnChipNetwork()
+        assert network.congestion_factor(0.9) > network.congestion_factor(0.1) >= 1.0
+
+    def test_cross_tile_traffic(self):
+        network = OnChipNetwork(NetworkConfig(grid_width=4))
+        cycles = cross_tile_traffic_cycles(network, {0: 160, 1: 0})
+        assert cycles > 0
+
+    def test_invalid_config(self):
+        with pytest.raises(SimulationError):
+            NetworkConfig(grid_width=0).validate()
+
+
+class TestQueues:
+    def test_fifo_order(self):
+        fifo = BoundedFIFO(4)
+        for i in range(4):
+            assert fifo.push(i)
+        assert not fifo.push(99)
+        assert fifo.full_rejections == 1
+        assert [fifo.pop() for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_fifo_empty_pop(self):
+        with pytest.raises(SimulationError):
+            BoundedFIFO(2).pop()
+
+    def test_credit_link_flow_control(self):
+        link = CreditLink(2)
+        assert link.send("a") and link.send("b")
+        assert not link.send("c")
+        assert link.stalled_sends == 1
+        assert link.receive() == "a"
+        assert link.send("c")
+
+    def test_credit_overflow_detected(self):
+        link = CreditLink(1)
+        link.send("a")
+        link.receive()
+        assert link.receive() is None
+
+
+class TestStats:
+    def test_breakdown_fractions_sum_to_one(self):
+        breakdown = StallBreakdown(active=10, scan=5, dram=5)
+        assert sum(breakdown.fractions().values()) == pytest.approx(1.0)
+
+    def test_breakdown_add_and_scale(self):
+        a = StallBreakdown(active=1, sram=2)
+        b = StallBreakdown(active=3, dram=4)
+        merged = a.add(b)
+        assert merged.active == 4 and merged.dram == 4
+        assert merged.scaled(2.0).sram == 4
+
+    def test_run_metrics_speedup(self):
+        fast = RunMetrics("a", "d", "p1", cycles=100, clock_ghz=1.0)
+        slow = RunMetrics("a", "d", "p2", cycles=1000, clock_ghz=1.0)
+        assert fast.speedup_over(slow) == pytest.approx(10.0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([]) == 0.0
+
+
+class TestLoops:
+    def test_dense_foreach(self):
+        seen = []
+        trace = Foreach(Counter(0, 10, 2), body=seen.append)
+        assert seen == [0, 2, 4, 6, 8]
+        assert trace.dense_iterations == 5
+
+    def test_sparse_foreach_signature(self):
+        a = BitVector(8, [1, 3, 5])
+        b = BitVector(8, [3, 5, 7])
+        captured = []
+        Foreach(
+            Scan(a, b, ScanMode.INTERSECT),
+            body=lambda j, ja, jb, jp: captured.append((j, ja, jb, jp)),
+        )
+        assert captured == [(3, 1, 0, 0), (5, 2, 1, 1)]
+
+    def test_reduce(self):
+        total, trace = Reduce(Counter(1, 5), body=lambda i: float(i))
+        assert total == 10.0
+        assert trace.dense_iterations == 4
+
+    def test_reduce_over_scan(self):
+        a = BitVector(8, [0, 2, 4], [1.0, 2.0, 3.0])
+        total, _ = Reduce(
+            Scan(a, mode=ScanMode.SINGLE),
+            body=lambda j, ja, jb, jp: a.values[ja],
+        )
+        assert total == 6.0
+
+    def test_memreduce(self):
+        accumulator = [0.0] * 4
+        MemReduce(
+            Counter(0, 8),
+            body=lambda i: 1.0,
+            accumulator=accumulator,
+            index_of=lambda i: i % 4,
+        )
+        assert accumulator == [2.0] * 4
+
+    def test_trace_vector_bodies(self):
+        trace = Foreach(Counter(0, 33, 1, par=16), body=lambda i: None)
+        assert trace.vector_bodies == 3
+
+    def test_invalid_counter(self):
+        with pytest.raises(ProgramError):
+            Counter(0, 4, 0)
+
+    def test_scan_records_timing(self):
+        a = BitVector(512, [0, 300])
+        trace = Foreach(Scan(a, mode=ScanMode.SINGLE), body=lambda *args: None)
+        assert trace.scan_invocations == 1
+        assert trace.scan_timings[0].cycles >= 2
+
+
+class TestMemoryHandles:
+    def test_sparse_tile_rmw_counts(self):
+        tile = SparseTile(64)
+        tile.accumulate(3, 2.0)
+        tile.rmw(3, RMWOp.MAX, 1.0)
+        assert tile.snapshot()[3] == 2.0
+        assert tile.counters.random_updates == 2
+
+    def test_sparse_tile_gather(self):
+        tile = SparseTile(16, initial=np.arange(16.0))
+        assert tile.gather(np.array([2, 5])).tolist() == [2.0, 5.0]
+        assert tile.counters.random_reads == 2
+
+    def test_sparse_tile_swap_clear(self):
+        tile = SparseTile(8)
+        tile.accumulate(1, 5.0)
+        contents = tile.swap_clear()
+        assert contents[1] == 5.0
+        assert tile.snapshot().sum() == 0.0
+
+    def test_sparse_tile_bounds(self):
+        with pytest.raises(ProgramError):
+            SparseTile(4).read(9)
+
+    def test_dram_tensor_streams_and_atomics(self):
+        tensor = DramTensor(32)
+        tensor.stream_write(np.ones(8))
+        tensor.atomic_update(0, RMWOp.ADD, 2.0)
+        assert tensor.snapshot()[0] == 3.0
+        assert tensor.counters.streaming_writes == 8
+        assert tensor.counters.random_updates == 1
+
+    @given(st.lists(st.floats(min_value=-10, max_value=10, allow_nan=False), min_size=1, max_size=32))
+    @settings(max_examples=30, deadline=None)
+    def test_tile_accumulate_matches_numpy(self, values):
+        tile = SparseTile(1)
+        for value in values:
+            tile.accumulate(0, value)
+        assert tile.snapshot()[0] == pytest.approx(sum(values), abs=1e-9)
