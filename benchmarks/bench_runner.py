@@ -1,0 +1,75 @@
+"""Benchmark the experiment runner: cold vs. warm cache, serial vs. parallel.
+
+Times full-grid ``collect_profiles`` wall time under four configurations --
+cold serial, cold parallel, warm cache, and cache-disabled serial (the
+pre-runtime baseline behaviour) -- and writes ``BENCH_runner.json`` at the
+repository root to seed the performance trajectory.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_runner.py [--scale 1/256] [--workers 4]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.eval.experiments import collect_profiles
+from repro.runtime.cache import ProfileCache
+
+
+def _timed(**kwargs) -> float:
+    start = time.perf_counter()
+    collect_profiles(**kwargs)
+    return time.perf_counter() - start
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", default="1/256", help="dataset scale (default 1/256)")
+    parser.add_argument("--workers", type=int, default=4, help="parallel pool size")
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_runner.json"),
+        help="where to write the benchmark record",
+    )
+    args = parser.parse_args(argv)
+    if "/" in args.scale:
+        numerator, _, denominator = args.scale.partition("/")
+        scale = float(numerator) / float(denominator)
+    else:
+        scale = float(args.scale)
+
+    with tempfile.TemporaryDirectory() as tmp_serial, tempfile.TemporaryDirectory() as tmp_par:
+        uncached_s = _timed(scale=scale, workers=1, cache=False)
+        cold_serial_s = _timed(scale=scale, workers=1, cache=ProfileCache(root=tmp_serial))
+        warm_serial_s = _timed(scale=scale, workers=1, cache=ProfileCache(root=tmp_serial))
+        cold_parallel_s = _timed(
+            scale=scale, workers=args.workers, cache=ProfileCache(root=tmp_par)
+        )
+
+    record = {
+        "benchmark": "collect_profiles full grid (11 apps x 3 datasets)",
+        "scale": scale,
+        "workers": args.workers,
+        "cpu_count": os.cpu_count(),
+        "uncached_serial_s": round(uncached_s, 3),
+        "cold_serial_s": round(cold_serial_s, 3),
+        "warm_serial_s": round(warm_serial_s, 3),
+        "cold_parallel_s": round(cold_parallel_s, 3),
+        "parallel_speedup": round(cold_serial_s / cold_parallel_s, 2),
+        "warm_cache_speedup": round(cold_serial_s / warm_serial_s, 2),
+    }
+    Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
+    print(json.dumps(record, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

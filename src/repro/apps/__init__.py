@@ -1,8 +1,14 @@
-"""Applications expressed with Capstan's sparse-iteration primitives (Table 2)."""
+"""Applications expressed with Capstan's sparse-iteration primitives (Table 2).
+
+Importing this package also populates the experiment registry
+(:mod:`repro.runtime.registry`): each application module registers an
+``AppSpec`` naming its Table 6 datasets and input preparation, which is what
+``repro.eval`` and the ``repro-eval`` runner dispatch on.
+"""
 
 from .bfs import bfs, reference_bfs_levels
 from .bicgstab import BiCGStabResult, bicgstab
-from .common import AppRun
+from .common import AppRun, best_source
 from .conv import sparse_convolution
 from .pagerank import pagerank_edge, pagerank_pull, reference_pagerank
 from .profile import WorkloadProfile, vector_slots_for
@@ -15,6 +21,7 @@ from .timing import CapstanPlatform, default_platform, estimate_cycles, ideal_pl
 
 __all__ = [
     "AppRun",
+    "best_source",
     "WorkloadProfile",
     "vector_slots_for",
     "ScanCost",

@@ -24,7 +24,9 @@ from ..errors import WorkloadError
 from ..formats.csc import CSCMatrix
 from ..formats.coo import COOMatrix
 from ..formats.csr import CSRMatrix
-from .common import AppRun
+from ..runtime.registry import RunContext, register_app
+from ..workloads import GRAPH_DATASET_NAMES, load_dataset
+from .common import AppRun, best_source
 from .profile import WorkloadProfile, vector_slots_for
 from .scan_model import ScanCost, scan_cost_single, zero_cost
 from .spmv import DEFAULT_OUTER_PARALLELISM, _pointer_compression
@@ -155,3 +157,14 @@ def reference_bfs_levels(adjacency: COOMatrix, source: int = 0) -> np.ndarray:
                     nxt.append(d)
         current = nxt
     return level
+
+
+@register_app("bfs", datasets=GRAPH_DATASET_NAMES, run=bfs, order=70, context_fields=("scale",))
+def _prepare_bfs(dataset: str, context: RunContext) -> dict:
+    """BFS inputs: the scaled graph and its highest-out-degree source."""
+    generated = load_dataset(dataset, scale=context.scale)
+    return {
+        "adjacency": generated.matrix,
+        "source": best_source(generated.matrix),
+        "dataset": generated.name,
+    }

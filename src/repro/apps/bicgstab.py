@@ -22,6 +22,8 @@ import numpy as np
 
 from ..errors import WorkloadError
 from ..formats.csr import CSRMatrix
+from ..runtime.registry import RunContext, register_app
+from ..workloads import LINEAR_ALGEBRA_DATASET_NAMES, load_dataset, make_diagonally_dominant
 from .common import AppRun
 from .profile import WorkloadProfile
 from .spmv import DEFAULT_OUTER_PARALLELISM, spmv_csr
@@ -163,3 +165,24 @@ def bicgstab(
     run = AppRun(output=x, profile=profile)
     run.result = result  # type: ignore[attr-defined]
     return run
+
+
+@register_app(
+    "bicgstab",
+    datasets=LINEAR_ALGEBRA_DATASET_NAMES,
+    run=bicgstab,
+    order=110,
+    context_fields=("scale",),
+)
+def _prepare_bicgstab(dataset: str, context: RunContext) -> dict:
+    """BiCGStab inputs: a diagonally dominant system and a random RHS."""
+    generated = load_dataset(dataset, scale=context.scale)
+    system = make_diagonally_dominant(generated.matrix)
+    rng = np.random.default_rng(31)
+    rhs = rng.random(system.shape[0])
+    return {
+        "matrix": system,
+        "rhs": rhs,
+        "dataset": generated.name,
+        "max_iterations": 20,
+    }

@@ -18,7 +18,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import WorkloadError
-from ..workloads.resnet import ConvWorkload
+from ..runtime.registry import RunContext, register_app
+from ..workloads.resnet import RESNET_LAYERS, ConvWorkload, generate_conv_layer
 from .common import AppRun
 from .profile import WorkloadProfile, vector_slots_for
 from .scan_model import data_scan_cost
@@ -117,3 +118,16 @@ def sparse_convolution(
         },
     )
     return AppRun(output=cropped.copy(), profile=profile)
+
+
+@register_app(
+    "conv",
+    datasets=tuple(RESNET_LAYERS),
+    run=sparse_convolution,
+    order=40,
+    context_fields=("conv_scale",),
+)
+def _prepare_conv(dataset: str, context: RunContext) -> dict:
+    """Conv inputs: the pruned ResNet-50 layer at the context's channel scale."""
+    workload = generate_conv_layer(dataset, scale=context.conv_scale)
+    return {"workload": workload, "dataset": dataset}

@@ -21,6 +21,8 @@ import numpy as np
 from ..errors import WorkloadError
 from ..formats.coo import COOMatrix
 from ..formats.csr import CSRMatrix
+from ..runtime.registry import RunContext, register_app
+from ..workloads import GRAPH_DATASET_NAMES, load_dataset
 from .common import AppRun, cross_tile_fraction_rows, tile_rows_by_nnz, tile_work_from_partition
 from .profile import WorkloadProfile, vector_slots_for
 from .spmv import DEFAULT_OUTER_PARALLELISM, _pointer_compression
@@ -172,3 +174,37 @@ def reference_pagerank(adjacency: COOMatrix, iterations: int = 3) -> np.ndarray:
     for _ in range(iterations):
         rank = (1.0 - DAMPING) / n + DAMPING * (transfer.T @ (rank / out_degree))
     return rank
+
+
+@register_app(
+    "pagerank-pull",
+    datasets=GRAPH_DATASET_NAMES,
+    run=pagerank_pull,
+    order=50,
+    context_fields=("scale", "pagerank_iterations"),
+)
+def _prepare_pagerank_pull(dataset: str, context: RunContext) -> dict:
+    """Pull-PageRank inputs: the scaled graph and the iteration budget."""
+    generated = load_dataset(dataset, scale=context.scale)
+    return {
+        "adjacency": generated.matrix,
+        "iterations": context.pagerank_iterations,
+        "dataset": generated.name,
+    }
+
+
+@register_app(
+    "pagerank-edge",
+    datasets=GRAPH_DATASET_NAMES,
+    run=pagerank_edge,
+    order=60,
+    context_fields=("scale", "pagerank_iterations"),
+)
+def _prepare_pagerank_edge(dataset: str, context: RunContext) -> dict:
+    """Edge-PageRank inputs: the scaled graph and the iteration budget."""
+    generated = load_dataset(dataset, scale=context.scale)
+    return {
+        "adjacency": generated.matrix,
+        "iterations": context.pagerank_iterations,
+        "dataset": generated.name,
+    }

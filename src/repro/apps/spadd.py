@@ -17,6 +17,9 @@ import numpy as np
 from ..core.scanner import ScanMode
 from ..errors import WorkloadError
 from ..formats.csr import CSRMatrix
+from ..formats.convert import to_csr
+from ..runtime.registry import RunContext, register_app
+from ..workloads import LINEAR_ALGEBRA_DATASET_NAMES, load_dataset
 from .common import AppRun, tile_rows_by_nnz, tile_work_from_partition
 from .profile import WorkloadProfile, vector_slots_for
 from .scan_model import scan_cost_pair, zero_cost
@@ -109,3 +112,21 @@ def sparse_add(
 def reference_add(matrix_a: CSRMatrix, matrix_b: CSRMatrix) -> np.ndarray:
     """Dense reference sum used for validation."""
     return matrix_a.to_dense() + matrix_b.to_dense()
+
+
+@register_app(
+    "spadd",
+    datasets=LINEAR_ALGEBRA_DATASET_NAMES,
+    run=sparse_add,
+    order=90,
+    context_fields=("scale",),
+)
+def _prepare_spadd(dataset: str, context: RunContext) -> dict:
+    """M+M inputs: the dataset plus a reseeded generation of the same spec."""
+    generated = load_dataset(dataset, scale=context.scale)
+    second = load_dataset(dataset, scale=context.scale, seed=29)
+    return {
+        "matrix_a": to_csr(generated.matrix),
+        "matrix_b": to_csr(second.matrix),
+        "dataset": generated.name,
+    }

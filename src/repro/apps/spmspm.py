@@ -22,6 +22,9 @@ import numpy as np
 from ..core.scanner import ScanMode
 from ..errors import WorkloadError
 from ..formats.csr import CSRMatrix
+from ..formats.convert import to_csr
+from ..runtime.registry import RunContext, register_app
+from ..workloads import SPMSPM_DATASET_NAMES, load_dataset
 from .common import AppRun, tile_rows_by_nnz, tile_work_from_partition
 from .profile import WorkloadProfile, vector_slots_for
 from .scan_model import scan_cost_pair, scan_cost_single, zero_cost
@@ -123,3 +126,11 @@ def spmspm(
 def reference_spmspm(matrix_a: CSRMatrix, matrix_b: CSRMatrix) -> np.ndarray:
     """Dense reference product used for validation."""
     return matrix_a.to_dense() @ matrix_b.to_dense()
+
+
+@register_app("spmspm", datasets=SPMSPM_DATASET_NAMES, run=spmspm, order=100, context_fields=())
+def _prepare_spmspm(dataset: str, context: RunContext) -> dict:
+    """SpMSpM inputs: ``A @ A`` at full scale (Table 6 matrices are small)."""
+    generated = load_dataset(dataset, scale=1.0)
+    csr = to_csr(generated.matrix)
+    return {"matrix_a": csr, "matrix_b": csr, "dataset": generated.name}

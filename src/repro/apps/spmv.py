@@ -29,6 +29,8 @@ from ..formats.convert import to_csc, to_csr
 from ..formats.coo import COOMatrix
 from ..formats.csc import CSCMatrix
 from ..formats.csr import CSRMatrix
+from ..runtime.registry import RunContext, register_app
+from ..workloads import LINEAR_ALGEBRA_DATASET_NAMES, load_dataset, sparse_vector
 from .common import AppRun, cross_tile_fraction_rows, tile_rows_by_nnz, tile_work_from_partition
 from .profile import WorkloadProfile, vector_slots_for
 from .scan_model import data_scan_cost, scan_cost_single
@@ -216,3 +218,63 @@ def _pointer_compression(pointers: np.ndarray) -> float:
         return 1.0
     _, report = compress_pointer_array(sample)
     return max(1.0, report.ratio)
+
+
+# --------------------------------------------------------------------------- #
+# Experiment-registry specs (Table 6 pairings, Table 12 order)
+# --------------------------------------------------------------------------- #
+
+def _dense_input_vector(length: int) -> np.ndarray:
+    """The evaluation's dense SpMV input: strictly positive, fixed seed."""
+    rng = np.random.default_rng(17)
+    return rng.random(length) + 0.1
+
+
+@register_app(
+    "spmv-csr",
+    datasets=LINEAR_ALGEBRA_DATASET_NAMES,
+    run=spmv_csr,
+    order=10,
+    context_fields=("scale",),
+)
+def _prepare_spmv_csr(dataset: str, context: RunContext) -> dict:
+    """CSR SpMV inputs: the scaled matrix and a dense random vector."""
+    generated = load_dataset(dataset, scale=context.scale)
+    csr = to_csr(generated.matrix)
+    return {
+        "matrix": csr,
+        "vector": _dense_input_vector(csr.shape[1]),
+        "dataset": generated.name,
+    }
+
+
+@register_app(
+    "spmv-coo",
+    datasets=LINEAR_ALGEBRA_DATASET_NAMES,
+    run=spmv_coo,
+    order=20,
+    context_fields=("scale",),
+)
+def _prepare_spmv_coo(dataset: str, context: RunContext) -> dict:
+    """COO SpMV inputs: the raw COO matrix and a dense random vector."""
+    generated = load_dataset(dataset, scale=context.scale)
+    return {
+        "matrix": generated.matrix,
+        "vector": _dense_input_vector(generated.matrix.shape[1]),
+        "dataset": generated.name,
+    }
+
+
+@register_app(
+    "spmv-csc",
+    datasets=LINEAR_ALGEBRA_DATASET_NAMES,
+    run=spmv_csc,
+    order=30,
+    context_fields=("scale",),
+)
+def _prepare_spmv_csc(dataset: str, context: RunContext) -> dict:
+    """CSC SpMV inputs: a 30%-dense sparse input vector (EIE-style)."""
+    generated = load_dataset(dataset, scale=context.scale)
+    csc = to_csc(generated.matrix)
+    vector = sparse_vector(csc.shape[1], density=0.30, seed=23)
+    return {"matrix": csc, "vector": vector, "dataset": generated.name}

@@ -23,7 +23,9 @@ from ..core.ordering import OrderingMode
 from ..errors import WorkloadError
 from ..formats.coo import COOMatrix
 from ..formats.csr import CSRMatrix
-from .common import AppRun
+from ..runtime.registry import RunContext, register_app
+from ..workloads import GRAPH_DATASET_NAMES, load_dataset
+from .common import AppRun, best_source
 from .profile import WorkloadProfile, vector_slots_for
 from .scan_model import scan_cost_single, zero_cost
 from .spmv import DEFAULT_OUTER_PARALLELISM, _pointer_compression
@@ -161,3 +163,14 @@ def reference_sssp(adjacency: COOMatrix, source: int = 0) -> np.ndarray:
                 distance[d] = nd
                 heapq.heappush(heap, (nd, d))
     return distance
+
+
+@register_app("sssp", datasets=GRAPH_DATASET_NAMES, run=sssp, order=80, context_fields=("scale",))
+def _prepare_sssp(dataset: str, context: RunContext) -> dict:
+    """SSSP inputs: the scaled graph and its highest-out-degree source."""
+    generated = load_dataset(dataset, scale=context.scale)
+    return {
+        "adjacency": generated.matrix,
+        "source": best_source(generated.matrix),
+        "dataset": generated.name,
+    }

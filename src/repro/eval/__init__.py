@@ -9,7 +9,7 @@ from .figures import (
     figure6_scanner_sensitivity,
     figure7_stall_breakdown,
 )
-from .report import format_mapping, format_series, format_table, paper_vs_measured
+from .report import format_mapping, format_run_report, format_series, format_table, paper_vs_measured
 from .tables import (
     table4_spmu_throughput,
     table5_scanner_area,
@@ -44,6 +44,7 @@ __all__ = [
     "figure7_stall_breakdown",
     "format_table",
     "format_mapping",
+    "format_run_report",
     "format_series",
     "paper_vs_measured",
 ]

@@ -2,73 +2,38 @@
 
 The evaluation section costs eleven application variants (CSR/COO/CSC SpMV,
 Conv, PR-Pull, PR-Edge, BFS, SSSP, M+M, SpMSpM, BiCGStab) on three datasets
-each (Table 6). :func:`collect_profiles` runs them all functionally once and
-caches the platform-independent profiles; every table/figure harness then
-re-costs those profiles under its own platform variants, which keeps the
-whole evaluation tractable.
+each (Table 6). :func:`collect_profiles` runs them all functionally once --
+through the registry-driven :class:`~repro.runtime.runner.ExperimentRunner`,
+so runs are cached on disk and can fan out over a process pool -- and every
+table/figure harness then re-costs those platform-independent profiles under
+its own platform variants, which keeps the whole evaluation tractable.
+
+The application dispatch itself lives in :mod:`repro.runtime.registry`;
+each module in :mod:`repro.apps` registers its spec (name, Table 6
+datasets, input preparation, run callable). ``APP_ORDER`` and
+``APP_DATASETS`` below are derived views kept for compatibility with
+existing harness callers.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
-import numpy as np
-
-from ..apps import (
-    bfs,
-    bicgstab,
-    pagerank_edge,
-    pagerank_pull,
-    sparse_add,
-    sparse_convolution,
-    spmspm,
-    spmv_coo,
-    spmv_csc,
-    spmv_csr,
-    sssp,
-)
+from ..apps import best_source  # noqa: F401  (registers specs; legacy re-export)
 from ..apps.profile import WorkloadProfile
-from ..formats.convert import to_csc, to_csr
-from ..workloads import (
-    generate_conv_layer,
-    load_dataset,
-    make_diagonally_dominant,
-    sparse_vector,
-)
+from ..runtime.cache import ProfileCache
+from ..runtime.registry import RunContext, app_datasets, app_order
+from ..runtime.runner import ExperimentRunner
 
 #: Default dataset scale for full-suite evaluation runs (see DESIGN.md).
 EVAL_SCALE = 1.0 / 64.0
 
-#: The application order used in Table 12 and Figure 7.
-APP_ORDER = (
-    "spmv-csr",
-    "spmv-coo",
-    "spmv-csc",
-    "conv",
-    "pagerank-pull",
-    "pagerank-edge",
-    "bfs",
-    "sssp",
-    "spadd",
-    "spmspm",
-    "bicgstab",
-)
+#: The application order used in Table 12 and Figure 7 (registry-derived).
+APP_ORDER = app_order()
 
-#: Datasets evaluated per application group (Table 6).
-APP_DATASETS: Dict[str, List[str]] = {
-    "spmv-csr": ["ckt11752_dc_1", "Trefethen_20000", "bcsstk30"],
-    "spmv-coo": ["ckt11752_dc_1", "Trefethen_20000", "bcsstk30"],
-    "spmv-csc": ["ckt11752_dc_1", "Trefethen_20000", "bcsstk30"],
-    "spadd": ["ckt11752_dc_1", "Trefethen_20000", "bcsstk30"],
-    "bicgstab": ["ckt11752_dc_1", "Trefethen_20000", "bcsstk30"],
-    "pagerank-pull": ["usroads-48", "web-Stanford", "flickr"],
-    "pagerank-edge": ["usroads-48", "web-Stanford", "flickr"],
-    "bfs": ["usroads-48", "web-Stanford", "flickr"],
-    "sssp": ["usroads-48", "web-Stanford", "flickr"],
-    "spmspm": ["spaceStation_4", "qc324", "mbeacxc"],
-    "conv": ["resnet50-1", "resnet50-2", "resnet50-29"],
-}
+#: Datasets evaluated per application group (Table 6, registry-derived).
+APP_DATASETS: Dict[str, List[str]] = app_datasets()
 
 
 @dataclass
@@ -92,31 +57,13 @@ class ProfileSet:
         return [app for app in APP_ORDER if app in present]
 
 
-def best_source(matrix) -> int:
-    """Pick a high-out-degree source vertex for BFS/SSSP.
-
-    The synthetic graph generators can leave low-degree or isolated
-    vertices; starting from the highest-out-degree vertex keeps traversals
-    covering a meaningful fraction of the graph, as the paper's real
-    datasets do.
-    """
-    degrees = np.bincount(matrix.rows, minlength=matrix.shape[0])
-    return int(np.argmax(degrees))
-
-
-def _spmv_inputs(name: str, scale: float):
-    dataset = load_dataset(name, scale=scale)
-    csr = to_csr(dataset.matrix)
-    rng = np.random.default_rng(17)
-    dense_vector = rng.random(csr.shape[1]) + 0.1
-    return dataset, csr, dense_vector
-
-
 def collect_profiles(
     apps: Optional[List[str]] = None,
     scale: float = EVAL_SCALE,
     pagerank_iterations: int = 2,
     conv_scale: float = 0.125,
+    workers: Optional[int] = None,
+    cache: Union[ProfileCache, bool, None] = True,
 ) -> ProfileSet:
     """Run the requested applications functionally and collect profiles.
 
@@ -125,64 +72,15 @@ def collect_profiles(
         scale: Dataset scale factor for the Table 6 stand-ins.
         pagerank_iterations: Power iterations per PageRank run.
         conv_scale: Channel scale for the ResNet layers.
+        workers: Process-pool size for the functional runs; ``None`` reads
+            ``REPRO_EVAL_WORKERS`` (default serial).
+        cache: On-disk profile cache policy (``True`` uses the default
+            cache, ``False`` disables it, or pass a
+            :class:`~repro.runtime.cache.ProfileCache`).
     """
-    selected = list(apps) if apps is not None else list(APP_ORDER)
-    profiles: Dict[tuple, WorkloadProfile] = {}
-    for app in selected:
-        for dataset_name in APP_DATASETS[app]:
-            profile = _run_app(app, dataset_name, scale, pagerank_iterations, conv_scale)
-            profiles[(app, dataset_name)] = profile
-    return ProfileSet(profiles=profiles, scale=scale)
-
-
-def _run_app(
-    app: str, dataset_name: str, scale: float, pagerank_iterations: int, conv_scale: float
-) -> WorkloadProfile:
-    """Run one application on one dataset and return its profile."""
-    if app == "spmv-csr":
-        dataset, csr, vector = _spmv_inputs(dataset_name, scale)
-        return spmv_csr(csr, vector, dataset=dataset.name).profile
-    if app == "spmv-coo":
-        dataset = load_dataset(dataset_name, scale=scale)
-        rng = np.random.default_rng(17)
-        vector = rng.random(dataset.matrix.shape[1]) + 0.1
-        return spmv_coo(dataset.matrix, vector, dataset=dataset.name).profile
-    if app == "spmv-csc":
-        dataset = load_dataset(dataset_name, scale=scale)
-        csc = to_csc(dataset.matrix)
-        vector = sparse_vector(csc.shape[1], density=0.30, seed=23)
-        return spmv_csc(csc, vector, dataset=dataset.name).profile
-    if app == "spadd":
-        dataset = load_dataset(dataset_name, scale=scale)
-        a = to_csr(dataset.matrix)
-        b = to_csr(load_dataset(dataset_name, scale=scale, seed=29).matrix)
-        return sparse_add(a, b, dataset=dataset.name).profile
-    if app == "bicgstab":
-        dataset = load_dataset(dataset_name, scale=scale)
-        system = make_diagonally_dominant(dataset.matrix)
-        rng = np.random.default_rng(31)
-        rhs = rng.random(system.shape[0])
-        return bicgstab(system, rhs, dataset=dataset.name, max_iterations=20).profile
-    if app in ("pagerank-pull", "pagerank-edge"):
-        dataset = load_dataset(dataset_name, scale=scale)
-        if app == "pagerank-pull":
-            return pagerank_pull(
-                dataset.matrix, iterations=pagerank_iterations, dataset=dataset.name
-            ).profile
-        return pagerank_edge(
-            dataset.matrix, iterations=pagerank_iterations, dataset=dataset.name
-        ).profile
-    if app in ("bfs", "sssp"):
-        dataset = load_dataset(dataset_name, scale=scale)
-        source = best_source(dataset.matrix)
-        if app == "bfs":
-            return bfs(dataset.matrix, source, dataset=dataset.name).profile
-        return sssp(dataset.matrix, source, dataset=dataset.name).profile
-    if app == "spmspm":
-        dataset = load_dataset(dataset_name, scale=1.0)
-        a = to_csr(dataset.matrix)
-        return spmspm(a, a, dataset=dataset.name).profile
-    if app == "conv":
-        workload = generate_conv_layer(dataset_name, scale=conv_scale)
-        return sparse_convolution(workload, dataset=dataset_name).profile
-    raise ValueError(f"unknown application {app!r}")
+    context = RunContext(
+        scale=scale, pagerank_iterations=pagerank_iterations, conv_scale=conv_scale
+    )
+    runner = ExperimentRunner(context=context, workers=workers, cache=cache)
+    report = runner.run(apps=apps)
+    return ProfileSet(profiles=dict(report.profiles()), scale=scale)

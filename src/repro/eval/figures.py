@@ -215,8 +215,6 @@ def figure6_scanner_sensitivity(
     the applications are re-profiled with the swept scanner configuration
     and re-costed, all relative to the maximal 512-input/16-output scanner.
     """
-    from .experiments import _run_app
-
     bit_series: Dict[str, List[float]] = {}
     out_series: Dict[str, List[float]] = {}
 
@@ -254,25 +252,21 @@ _SCAN_REPROFILE_CACHE: Dict[tuple, object] = {}
 
 
 def _scan_reprofiled(app: str, dataset: str, scale: float, scanner: ScannerConfig):
-    """Re-run one app with a swept scanner configuration (cached)."""
-    from .experiments import _run_app
-    from ..apps import scan_model
+    """Re-run one app with a swept scanner configuration (cached in-memory).
+
+    The registry applies the scanner override during execution (the
+    scan-cost helpers construct their default configuration at call time),
+    so the application is profiled as if the hardware had the swept scanner.
+    These off-design-point profiles deliberately bypass the on-disk cache.
+    """
+    from ..runtime.registry import RunContext, execute
 
     key = (app, dataset, scale, scanner.bit_width, scanner.output_vectorization)
     cached = _SCAN_REPROFILE_CACHE.get(key)
     if cached is not None:
         return cached
-    # The scan-cost helpers take the configuration through their `config`
-    # argument; the app runners use defaults, so patch the default here.
-    original = scan_model.ScannerConfig
-    profile = None
-    try:
-        # Temporarily substitute the default ScannerConfig constructor so the
-        # application's scan-cost calls pick up the swept configuration.
-        scan_model.ScannerConfig = lambda: scanner  # type: ignore[assignment]
-        profile = _run_app(app, dataset, scale, pagerank_iterations=2, conv_scale=0.125)
-    finally:
-        scan_model.ScannerConfig = original  # type: ignore[assignment]
+    context = RunContext(scale=scale, scanner=scanner)
+    profile = execute(app, dataset, context)
     _SCAN_REPROFILE_CACHE[key] = profile
     return profile
 

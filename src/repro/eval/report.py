@@ -70,6 +70,33 @@ def paper_vs_measured(
     return format_table(rows, ["point", "paper", "measured"], title=title)
 
 
+def format_run_report(report, title: str = "") -> str:
+    """Render an :class:`~repro.runtime.runner.RunReport` as a task table.
+
+    One row per (app, dataset) task with its status, wall time, and error
+    (if any), followed by a summary line with the cache hit count and total
+    wall time.
+    """
+    rows = [
+        {
+            "app": result.app,
+            "dataset": result.dataset,
+            "status": result.status,
+            "seconds": result.duration_s,
+            "error": result.error or "",
+        }
+        for result in report.results
+    ]
+    table = format_table(rows, ["app", "dataset", "status", "seconds", "error"], title=title)
+    summary = (
+        f"{len(report.results)} tasks: {report.executed_count()} executed, "
+        f"{report.cached_count()} cached, {len(report.errors())} failed "
+        f"({report.workers} worker{'s' if report.workers != 1 else ''}, "
+        f"{report.wall_time_s:.2f}s wall)"
+    )
+    return f"{table}\n{summary}"
+
+
 def _fmt(value, value_format: str = "{:.2f}") -> str:
     if value is None:
         return "-"

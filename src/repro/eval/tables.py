@@ -21,6 +21,7 @@ from ..core.area import (
 from ..core.ordering import OrderingMode
 from ..core.spmu import measure_bank_utilization
 from ..baselines import asic, cpu, gpu, plasticine
+from ..runtime.sweep import sweep
 from ..sim.stats import geometric_mean
 from .experiments import ProfileSet, collect_profiles
 
@@ -117,22 +118,23 @@ TABLE9_PAPER_GMEAN = {
 }
 
 
+#: Table 9 row labels per allocator variant.
+_TABLE9_ALLOCATOR_LABELS = {"separable": "capstan", "greedy": "weak", "arbitrated": "arbitrated"}
+
+
 def table9_spmu_sensitivity(profiles: Optional[ProfileSet] = None) -> Dict:
     """Per-app runtimes under SpMU variants, normalized to Capstan+hash."""
     profiles = profiles or collect_profiles()
-    variants = {
-        "ideal": CapstanPlatform(ideal_sram=True, name="ideal"),
-        "capstan-hash": CapstanPlatform(name="capstan-hash"),
-        "capstan-linear": CapstanPlatform(bank_mapping="linear", name="capstan-linear"),
-        "weak-hash": CapstanPlatform(allocator="greedy", name="weak-hash"),
-        "weak-linear": CapstanPlatform(
-            allocator="greedy", bank_mapping="linear", name="weak-linear"
-        ),
-        "arbitrated-hash": CapstanPlatform(allocator="arbitrated", name="arbitrated-hash"),
-        "arbitrated-linear": CapstanPlatform(
-            allocator="arbitrated", bank_mapping="linear", name="arbitrated-linear"
-        ),
-    }
+    variants = {"ideal": CapstanPlatform(ideal_sram=True, name="ideal")}
+    variants.update(
+        sweep(
+            allocator=("separable", "greedy", "arbitrated"),
+            bank_mapping=("hash", "linear"),
+            name=lambda combo: (
+                f"{_TABLE9_ALLOCATOR_LABELS[combo['allocator']]}-{combo['bank_mapping']}"
+            ),
+        )
+    )
     results: Dict[str, Dict[str, float]] = {name: {} for name in variants}
     for app in profiles.apps():
         app_profiles = profiles.for_app(app)
@@ -160,25 +162,21 @@ TABLE10_APPS = ("spmv-csr", "spmv-coo", "spmv-csc", "conv", "bicgstab")
 def table10_ordering_modes(profiles: Optional[ProfileSet] = None) -> Dict:
     """Slowdown of stricter ordering modes, normalized to unordered."""
     profiles = profiles or collect_profiles(apps=list(TABLE10_APPS))
-    modes = {
-        "unordered": OrderingMode.UNORDERED,
-        "address-ordered": OrderingMode.ADDRESS_ORDERED,
-        "fully-ordered": OrderingMode.FULLY_ORDERED,
-    }
-    per_app: Dict[str, Dict[str, float]] = {name: {} for name in modes}
+    variants = sweep(
+        ordering=(
+            OrderingMode.UNORDERED,
+            OrderingMode.ADDRESS_ORDERED,
+            OrderingMode.FULLY_ORDERED,
+        )
+    )
+    per_app: Dict[str, Dict[str, float]] = {name: {} for name in variants}
     for app in TABLE10_APPS:
         if app not in profiles.apps():
             continue
         app_profiles = profiles.for_app(app)
-        base = [
-            estimate_cycles(p, CapstanPlatform(ordering=OrderingMode.UNORDERED))[0]
-            for p in app_profiles
-        ]
-        for name, mode in modes.items():
-            cycles = [
-                estimate_cycles(p, CapstanPlatform(ordering=mode, name=name))[0]
-                for p in app_profiles
-            ]
+        base = [estimate_cycles(p, variants["unordered"])[0] for p in app_profiles]
+        for name, platform in variants.items():
+            cycles = [estimate_cycles(p, platform)[0] for p in app_profiles]
             per_app[name][app] = geometric_mean([c / b for c, b in zip(cycles, base) if b > 0])
     gmeans = {name: geometric_mean(list(vals.values())) for name, vals in per_app.items()}
     return {"per_app": per_app, "gmean": gmeans, "paper_gmean": TABLE10_PAPER_GMEAN}
@@ -204,30 +202,30 @@ TABLE11_PAPER = {
 
 TABLE11_APPS = ("pagerank-pull", "pagerank-edge", "conv")
 
+#: Table 11 column labels per shuffle mode.
+_TABLE11_MODE_LABELS = {
+    ShuffleMode.NONE: "none",
+    ShuffleMode.MRG0: "mrg-0",
+    ShuffleMode.MRG1: "mrg-1",
+    ShuffleMode.MRG16: "mrg-16",
+}
+
 
 def table11_shuffle_sensitivity(profiles: Optional[ProfileSet] = None) -> Dict:
     """Runtime vs shuffle-network mode, normalized to Mrg-1."""
     profiles = profiles or collect_profiles(apps=list(TABLE11_APPS))
-    modes = {
-        "none": ShuffleMode.NONE,
-        "mrg-0": ShuffleMode.MRG0,
-        "mrg-1": ShuffleMode.MRG1,
-        "mrg-16": ShuffleMode.MRG16,
-    }
+    variants = sweep(
+        shuffle=(ShuffleMode.NONE, ShuffleMode.MRG0, ShuffleMode.MRG1, ShuffleMode.MRG16),
+        name=lambda combo: _TABLE11_MODE_LABELS[combo["shuffle"]],
+    )
     results: Dict[str, Dict[str, float]] = {}
     for app in TABLE11_APPS:
         if app not in profiles.apps():
             continue
         app_profiles = profiles.for_app(app)
-        base_platform = CapstanPlatform(
-            config=CapstanConfig().with_shuffle_mode(ShuffleMode.MRG1), name="mrg-1"
-        )
-        base = [estimate_cycles(p, base_platform)[0] for p in app_profiles]
+        base = [estimate_cycles(p, variants["mrg-1"])[0] for p in app_profiles]
         results[app] = {}
-        for name, mode in modes.items():
-            platform = CapstanPlatform(
-                config=CapstanConfig().with_shuffle_mode(mode), name=name
-            )
+        for name, platform in variants.items():
             cycles = [estimate_cycles(p, platform)[0] for p in app_profiles]
             results[app][name] = geometric_mean([c / b for c, b in zip(cycles, base) if b > 0])
     return {"per_app": results, "paper": TABLE11_PAPER}
@@ -252,12 +250,13 @@ TABLE12_PAPER_GMEAN = {
 def table12_performance(profiles: Optional[ProfileSet] = None) -> Dict:
     """Runtimes of every platform, normalized to Capstan-HBM2E per app."""
     profiles = profiles or collect_profiles()
-    platforms = {
-        "capstan-ideal": ideal_platform(),
-        "capstan-hbm2e": default_platform(MemoryTechnology.HBM2E),
-        "capstan-hbm2": default_platform(MemoryTechnology.HBM2),
-        "capstan-ddr4": default_platform(MemoryTechnology.DDR4),
-    }
+    platforms = {"capstan-ideal": ideal_platform()}
+    platforms.update(
+        sweep(
+            memory=(MemoryTechnology.HBM2E, MemoryTechnology.HBM2, MemoryTechnology.DDR4),
+            name=lambda combo: f"capstan-{combo['memory'].value}",
+        )
+    )
     per_app: Dict[str, Dict[str, float]] = {}
     for app in profiles.apps():
         app_profiles = profiles.for_app(app)

@@ -1,0 +1,53 @@
+"""Experiment runtime: registry, caching, parallel execution, sweeps.
+
+This package is the layer between the applications (:mod:`repro.apps`) and
+the evaluation harnesses (:mod:`repro.eval`). It owns four concerns:
+
+* :mod:`repro.runtime.registry` -- a decorator-based :class:`AppSpec`
+  registry each application module registers into, replacing hand-written
+  dispatch tables;
+* :mod:`repro.runtime.cache` -- a content-addressed on-disk cache for
+  :class:`~repro.apps.profile.WorkloadProfile` objects keyed by
+  (app, dataset, run context, code fingerprint);
+* :mod:`repro.runtime.runner` -- an :class:`ExperimentRunner` that fans the
+  (app x dataset) grid out over a process pool with structured per-task
+  results and deterministic ordering;
+* :mod:`repro.runtime.sweep` -- a declarative generator for the
+  :class:`~repro.apps.timing.CapstanPlatform` variants the sensitivity
+  studies cost profiles under.
+"""
+
+from .registry import (
+    AppSpec,
+    RegistryError,
+    RunContext,
+    app_datasets,
+    app_order,
+    execute,
+    get_spec,
+    register_app,
+    registered_specs,
+)
+from .cache import ProfileCache, code_fingerprint, profile_from_dict, profile_to_dict
+from .runner import ExperimentRunner, RunReport, TaskResult
+from .sweep import sweep
+
+__all__ = [
+    "AppSpec",
+    "RegistryError",
+    "RunContext",
+    "app_datasets",
+    "app_order",
+    "execute",
+    "get_spec",
+    "register_app",
+    "registered_specs",
+    "ProfileCache",
+    "code_fingerprint",
+    "profile_to_dict",
+    "profile_from_dict",
+    "ExperimentRunner",
+    "RunReport",
+    "TaskResult",
+    "sweep",
+]

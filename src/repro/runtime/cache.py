@@ -1,0 +1,232 @@
+"""Content-addressed on-disk cache for workload profiles.
+
+Collecting the evaluation's profiles means functionally executing eleven
+application variants on three datasets each -- by far the most expensive
+part of regenerating any table or figure. Profiles are deterministic given
+(application, dataset, run context, code), so this module caches them on
+disk keyed by exactly that content:
+
+* the application and dataset names,
+* the :class:`~repro.runtime.registry.RunContext` fingerprint (scale,
+  iteration counts, scanner override), and
+* a fingerprint of the package source that produces profiles (everything
+  under ``repro`` except the eval/runtime harness layers), so editing any
+  model or application invalidates stale entries automatically.
+
+Entries are JSON files (one per profile) written atomically; a corrupt,
+truncated, or version-skewed entry reads as a miss, never as an error.
+
+Set ``REPRO_PROFILE_CACHE`` to relocate the cache directory and
+``REPRO_PROFILE_CACHE_DISABLE=1`` to turn caching off entirely.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from ..apps.profile import WorkloadProfile
+from .registry import RunContext
+
+#: Bump when the serialized profile layout changes incompatibly.
+CACHE_VERSION = 1
+
+#: Package subdirectories excluded from the code fingerprint: they consume
+#: profiles but cannot change what a functional run produces.
+_FINGERPRINT_EXCLUDED = ("eval", "runtime", "__pycache__")
+
+
+def cache_enabled() -> bool:
+    """Whether the on-disk profile cache is enabled (kill switch honored)."""
+    return os.environ.get("REPRO_PROFILE_CACHE_DISABLE", "") not in ("1", "true", "yes")
+
+
+def default_cache_dir() -> Path:
+    """The cache root: ``$REPRO_PROFILE_CACHE`` or ``~/.cache/repro/profiles``."""
+    override = os.environ.get("REPRO_PROFILE_CACHE")
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro" / "profiles"
+
+
+_CODE_FINGERPRINT: Optional[str] = None
+
+
+def code_fingerprint(refresh: bool = False) -> str:
+    """Hash of all profile-producing package sources (memoized per process)."""
+    global _CODE_FINGERPRINT
+    if _CODE_FINGERPRINT is not None and not refresh:
+        return _CODE_FINGERPRINT
+    package_root = Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        relative = path.relative_to(package_root)
+        if any(part in _FINGERPRINT_EXCLUDED for part in relative.parts):
+            continue
+        digest.update(str(relative).encode())
+        digest.update(path.read_bytes())
+    _CODE_FINGERPRINT = digest.hexdigest()
+    return _CODE_FINGERPRINT
+
+
+def _json_default(value: Any):
+    """Serialize numpy scalars/arrays the profiles may carry."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        return value.item()
+    tolist = getattr(value, "tolist", None)
+    if callable(tolist):
+        return value.tolist()
+    raise TypeError(f"unserializable profile value: {value!r}")
+
+
+def profile_to_dict(profile: WorkloadProfile) -> Dict[str, Any]:
+    """Serialize one profile to a JSON-compatible dict."""
+    raw = dataclasses.asdict(profile)
+    # Round-trip through JSON so numpy scalars are normalized identically
+    # whether a profile was computed or loaded from cache.
+    return json.loads(json.dumps(raw, default=_json_default))
+
+
+def profile_from_dict(data: Dict[str, Any]) -> WorkloadProfile:
+    """Rebuild a profile, ignoring unknown fields from newer layouts."""
+    known = {f.name for f in dataclasses.fields(WorkloadProfile)}
+    return WorkloadProfile(**{k: v for k, v in data.items() if k in known})
+
+
+class ProfileCache:
+    """Content-addressed :class:`WorkloadProfile` store.
+
+    Attributes:
+        root: Directory holding one ``<key>.json`` file per profile.
+        hits / misses / stores: Per-instance access statistics.
+    """
+
+    def __init__(self, root: Optional[Path] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def key(
+        self,
+        app: str,
+        dataset: str,
+        context: RunContext,
+        fingerprint: Optional[str] = None,
+        context_fields: Optional[tuple] = None,
+    ) -> str:
+        """Cache key for one (app, dataset, context, code) combination.
+
+        Args:
+            app / dataset / context: Task coordinates.
+            fingerprint: Code-fingerprint override (testing).
+            context_fields: Which context parameters the application reads
+                (its :attr:`~repro.runtime.registry.AppSpec.context_fields`);
+                ``None`` fingerprints all of them.
+        """
+        material = {
+            "version": CACHE_VERSION,
+            "app": app,
+            "dataset": dataset,
+            "context": context.fingerprint(context_fields),
+            "code": fingerprint if fingerprint is not None else code_fingerprint(),
+        }
+        encoded = json.dumps(material, sort_keys=True).encode()
+        return hashlib.sha256(encoded).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def load(self, key: str) -> Optional[WorkloadProfile]:
+        """Read one cached profile; any malformed entry is a miss."""
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if not isinstance(payload, dict) or payload.get("version") != CACHE_VERSION:
+            self.misses += 1
+            return None
+        try:
+            profile = profile_from_dict(payload["profile"])
+        except (KeyError, TypeError, AttributeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return profile
+
+    def store(self, key: str, profile: WorkloadProfile) -> None:
+        """Write one profile atomically (write-to-temp, then rename)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": CACHE_VERSION,
+            "code": code_fingerprint(),
+            "profile": profile_to_dict(profile),
+        }
+        fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_name, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    def clear(self) -> int:
+        """Delete every cache entry (and stray temp files); returns the count."""
+        removed = 0
+        if self.root.is_dir():
+            for path in list(self.root.glob("*.json")) + list(self.root.glob("*.tmp")):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def prune(self) -> int:
+        """Remove entries written by other code versions, and stray temps.
+
+        Every source edit changes the code fingerprint and orphans the
+        previous entries; pruning keeps only profiles the current code
+        could still serve. Returns the number of files removed.
+        """
+        removed = 0
+        if not self.root.is_dir():
+            return 0
+        current = code_fingerprint()
+        for path in self.root.glob("*.tmp"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        for path in self.root.glob("*.json"):
+            try:
+                payload = json.loads(path.read_text())
+                stale = payload.get("code") != current or payload.get("version") != CACHE_VERSION
+            except (OSError, ValueError, AttributeError):
+                stale = True
+            if stale:
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))

@@ -1,0 +1,158 @@
+"""``repro-eval``: drive the experiment runner from the command line.
+
+Runs the registered (application x dataset) grid through
+:class:`~repro.runtime.runner.ExperimentRunner` -- parallel and cached --
+and prints the per-task report. Typical uses::
+
+    repro-eval --list                      # show the registered grid
+    repro-eval --scale 1/256              # quick full-grid collection
+    repro-eval --apps spmv-csr,bfs -j 4   # a subset, four workers
+    repro-eval --no-cache --json out.json # cold run, machine-readable report
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from ..errors import CapstanError
+from .cache import ProfileCache, default_cache_dir, profile_to_dict
+from .registry import RunContext, app_datasets, app_order
+from .runner import ExperimentRunner
+
+
+def _parse_scale(text: str) -> float:
+    """Parse a scale given as a float (``0.015625``) or ratio (``1/64``)."""
+    if "/" in text:
+        numerator, _, denominator = text.partition("/")
+        try:
+            return float(numerator) / float(denominator)
+        except ZeroDivisionError:
+            # Raise ValueError so argparse prints a clean usage error.
+            raise ValueError(f"zero denominator in {text!r}") from None
+    return float(text)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-eval",
+        description="Run the Capstan evaluation grid (parallel, profile-cached).",
+    )
+    parser.add_argument(
+        "--apps",
+        help="comma-separated application names (default: all registered)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=_parse_scale,
+        default=1.0 / 64.0,
+        help="dataset scale, e.g. 1/64 or 0.015625 (default: 1/64)",
+    )
+    parser.add_argument(
+        "--pagerank-iterations", type=int, default=2, help="power iterations per PageRank run"
+    )
+    parser.add_argument(
+        "--conv-scale", type=_parse_scale, default=0.125, help="ResNet channel scale"
+    )
+    parser.add_argument(
+        "-j", "--workers", type=int, default=None,
+        help="process-pool size (default: $REPRO_EVAL_WORKERS or serial)",
+    )
+    parser.add_argument("--no-cache", action="store_true", help="bypass the on-disk profile cache")
+    parser.add_argument(
+        "--cache-dir", default=None, help=f"profile cache directory (default: {default_cache_dir()})"
+    )
+    parser.add_argument(
+        "--clear-cache", action="store_true", help="delete cached profiles, then exit"
+    )
+    parser.add_argument(
+        "--prune-cache",
+        action="store_true",
+        help="delete cached profiles from other code versions, then exit",
+    )
+    parser.add_argument("--list", action="store_true", help="list the registered grid, then exit")
+    parser.add_argument(
+        "--keep-going", action="store_true", help="report task failures instead of aborting"
+    )
+    parser.add_argument("--json", default=None, help="also write the report (with profiles) here")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list:
+        for app, datasets in app_datasets().items():
+            print(f"{app}: {', '.join(datasets)}")
+        return 0
+
+    if args.clear_cache or args.prune_cache:
+        target = ProfileCache(root=args.cache_dir) if args.cache_dir else ProfileCache()
+        removed = target.clear() if args.clear_cache else target.prune()
+        verb = "removed" if args.clear_cache else "pruned"
+        print(f"{verb} {removed} cached profiles from {target.root}")
+        return 0
+
+    cache: object
+    if args.no_cache:
+        cache = False
+    elif args.cache_dir is not None:
+        cache = ProfileCache(root=args.cache_dir)
+    else:
+        cache = True
+
+    apps = [name.strip() for name in args.apps.split(",") if name.strip()] if args.apps else None
+    unknown = set(apps or ()) - set(app_order())
+    if unknown:
+        print(f"unknown applications: {', '.join(sorted(unknown))}", file=sys.stderr)
+        return 2
+
+    context = RunContext(
+        scale=args.scale,
+        pagerank_iterations=args.pagerank_iterations,
+        conv_scale=args.conv_scale,
+    )
+    runner = ExperimentRunner(
+        context=context,
+        workers=args.workers,
+        cache=cache,
+        raise_on_error=not args.keep_going,
+    )
+    try:
+        report = runner.run(apps=apps)
+    except CapstanError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    from ..eval.report import format_run_report
+
+    print(format_run_report(report, title=f"Evaluation grid (scale={args.scale:g})"))
+
+    if args.json:
+        payload = {
+            "scale": args.scale,
+            "workers": report.workers,
+            "wall_time_s": report.wall_time_s,
+            "tasks": [
+                {
+                    "app": r.app,
+                    "dataset": r.dataset,
+                    "status": r.status,
+                    "duration_s": r.duration_s,
+                    "error": r.error,
+                    "profile": profile_to_dict(r.profile) if r.profile is not None else None,
+                }
+                for r in report.results
+            ],
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json}")
+
+    return 1 if report.errors() else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

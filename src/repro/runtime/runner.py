@@ -1,0 +1,245 @@
+"""Parallel, cached execution of the (application x dataset) grid.
+
+:class:`ExperimentRunner` turns the registry's specs into a task grid,
+satisfies what it can from the on-disk profile cache, fans the remaining
+functional runs out over a process pool, and returns a :class:`RunReport`
+of structured per-task results in deterministic (registry) order --
+independent of completion order, worker count, or cache state.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..apps.profile import WorkloadProfile
+from . import registry
+from .cache import ProfileCache, cache_enabled
+from .registry import RunContext
+
+#: Task states a :class:`TaskResult` can report.
+STATUS_OK = "ok"
+STATUS_CACHED = "cached"
+STATUS_ERROR = "error"
+
+
+@dataclass
+class TaskResult:
+    """Outcome of one (application, dataset) evaluation task.
+
+    Attributes:
+        app: Application name.
+        dataset: Dataset name.
+        status: ``"ok"`` (executed), ``"cached"`` (served from the profile
+            cache), or ``"error"``.
+        duration_s: Wall time spent on this task (0 for cache hits).
+        profile: The collected profile (``None`` on error).
+        error: One-line error description (``None`` unless failed).
+    """
+
+    app: str
+    dataset: str
+    status: str
+    duration_s: float = 0.0
+    profile: Optional[WorkloadProfile] = None
+    error: Optional[str] = None
+
+
+@dataclass
+class RunReport:
+    """All task results of one runner invocation, in registry order."""
+
+    context: RunContext
+    results: List[TaskResult] = field(default_factory=list)
+    workers: int = 1
+    wall_time_s: float = 0.0
+
+    def profiles(self) -> Dict[Tuple[str, str], WorkloadProfile]:
+        """Successful profiles keyed by ``(app, dataset)``."""
+        return {
+            (r.app, r.dataset): r.profile
+            for r in self.results
+            if r.profile is not None
+        }
+
+    def errors(self) -> List[TaskResult]:
+        """The failed tasks, if any."""
+        return [r for r in self.results if r.status == STATUS_ERROR]
+
+    def executed_count(self) -> int:
+        """Tasks that ran functionally (cache misses)."""
+        return sum(1 for r in self.results if r.status == STATUS_OK)
+
+    def cached_count(self) -> int:
+        """Tasks served from the profile cache."""
+        return sum(1 for r in self.results if r.status == STATUS_CACHED)
+
+
+class _RemoteTraceback(Exception):
+    """Carries a worker's formatted traceback across the process boundary."""
+
+    def __init__(self, text: str):
+        super().__init__(text)
+        self.text = text
+
+    def __str__(self) -> str:
+        return f"\n{self.text}"
+
+
+def _execute_task(app: str, dataset: str, context: RunContext) -> Tuple[str, object, float]:
+    """Run one task; top-level so process-pool workers can unpickle it.
+
+    Returns a ``(tag, payload, duration)`` triple -- ``("ok", profile, s)``
+    or ``("error", (exception, traceback text), s)`` -- so the parent gets
+    worker-measured durations and full tracebacks for failures too (a
+    raised exception would only carry the parent's wait time, and pickling
+    strips ``__traceback__``).
+    """
+    # A freshly spawned worker has not imported the app modules; the
+    # registry self-populates on first lookup (see _ensure_apps_imported).
+    start = time.perf_counter()
+    try:
+        profile = registry.execute(app, dataset, context)
+    except Exception as exc:  # noqa: BLE001 - reported per task
+        return STATUS_ERROR, (exc, traceback.format_exc()), time.perf_counter() - start
+    return STATUS_OK, profile, time.perf_counter() - start
+
+
+def default_workers() -> int:
+    """Worker count from ``REPRO_EVAL_WORKERS`` (default: serial)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_EVAL_WORKERS", "1")))
+    except ValueError:
+        return 1
+
+
+class ExperimentRunner:
+    """Runs registered applications over their datasets, cached and parallel.
+
+    Args:
+        context: Run parameters shared by every task.
+        workers: Process-pool size; ``1`` runs serially in-process and
+            ``None`` reads ``REPRO_EVAL_WORKERS`` (default serial).
+        cache: ``True`` (default) uses the default on-disk profile cache,
+            ``False``/``None`` disables caching, or pass a
+            :class:`ProfileCache` instance. The
+            ``REPRO_PROFILE_CACHE_DISABLE`` kill switch overrides ``True``.
+        raise_on_error: Re-raise the first task failure (default). When
+            ``False``, failures are reported as ``"error"`` task results.
+    """
+
+    def __init__(
+        self,
+        context: Optional[RunContext] = None,
+        workers: Optional[int] = None,
+        cache: Union[ProfileCache, bool, None] = True,
+        raise_on_error: bool = True,
+    ):
+        self.context = context or RunContext()
+        self.workers = default_workers() if workers is None else max(1, int(workers))
+        if cache is True:
+            self.cache: Optional[ProfileCache] = ProfileCache() if cache_enabled() else None
+        elif cache is False or cache is None:
+            self.cache = None
+        else:
+            self.cache = cache
+        self.raise_on_error = raise_on_error
+
+    def tasks(self, apps: Optional[Sequence[str]] = None) -> List[Tuple[str, str]]:
+        """The (app, dataset) grid in deterministic registry order."""
+        names = list(apps) if apps is not None else list(registry.app_order())
+        grid: List[Tuple[str, str]] = []
+        for name in names:
+            spec = registry.get_spec(name)
+            grid.extend((name, dataset) for dataset in spec.datasets)
+        return grid
+
+    def run(self, apps: Optional[Sequence[str]] = None) -> RunReport:
+        """Evaluate the grid and return per-task results in grid order."""
+        started = time.perf_counter()
+        grid = self.tasks(apps)
+        results: Dict[Tuple[str, str], TaskResult] = {}
+
+        pending: List[Tuple[str, str]] = []
+        for app, dataset in grid:
+            cached = self._load_cached(app, dataset)
+            if cached is not None:
+                results[(app, dataset)] = TaskResult(
+                    app=app, dataset=dataset, status=STATUS_CACHED, profile=cached
+                )
+            else:
+                pending.append((app, dataset))
+
+        if pending:
+            if self.workers > 1 and len(pending) > 1:
+                self._run_parallel(pending, results)
+            else:
+                self._run_serial(pending, results)
+
+        report = RunReport(
+            context=self.context,
+            results=[results[task] for task in grid],
+            workers=self.workers,
+            wall_time_s=time.perf_counter() - started,
+        )
+        return report
+
+    def _key(self, app: str, dataset: str) -> str:
+        context_fields = registry.get_spec(app).context_fields
+        return self.cache.key(app, dataset, self.context, context_fields=context_fields)
+
+    def _load_cached(self, app: str, dataset: str) -> Optional[WorkloadProfile]:
+        if self.cache is None:
+            return None
+        return self.cache.load(self._key(app, dataset))
+
+    def _record(
+        self,
+        app: str,
+        dataset: str,
+        outcome: Tuple[str, object, float],
+        results: Dict[Tuple[str, str], TaskResult],
+    ) -> None:
+        """Turn one task outcome into a TaskResult (raising if configured)."""
+        tag, payload, duration = outcome
+        if tag == STATUS_ERROR:
+            exc, tb_text = payload
+            if self.raise_on_error:
+                if exc.__traceback__ is None:
+                    # The exception crossed a process boundary; chain the
+                    # worker-side traceback so the failure site is visible.
+                    exc.__cause__ = _RemoteTraceback(tb_text)
+                raise exc
+            summary = traceback.format_exception_only(type(exc), exc)[-1].strip()
+            results[(app, dataset)] = TaskResult(
+                app=app, dataset=dataset, status=STATUS_ERROR, duration_s=duration, error=summary
+            )
+            return
+        profile = payload
+        if self.cache is not None:
+            self.cache.store(self._key(app, dataset), profile)
+        results[(app, dataset)] = TaskResult(
+            app=app, dataset=dataset, status=STATUS_OK, duration_s=duration, profile=profile
+        )
+
+    def _run_serial(
+        self, pending: List[Tuple[str, str]], results: Dict[Tuple[str, str], TaskResult]
+    ) -> None:
+        for app, dataset in pending:
+            self._record(app, dataset, _execute_task(app, dataset, self.context), results)
+
+    def _run_parallel(
+        self, pending: List[Tuple[str, str]], results: Dict[Tuple[str, str], TaskResult]
+    ) -> None:
+        max_workers = min(self.workers, len(pending))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = {
+                (app, dataset): pool.submit(_execute_task, app, dataset, self.context)
+                for app, dataset in pending
+            }
+            for (app, dataset), future in futures.items():
+                self._record(app, dataset, future.result(), results)

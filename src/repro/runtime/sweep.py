@@ -1,0 +1,95 @@
+"""Declarative platform sweeps for the sensitivity studies.
+
+Every sensitivity table costs the same profiles under a family of
+:class:`~repro.apps.timing.CapstanPlatform` variants that differ along one
+or two architectural axes. :func:`sweep` generates such a family from a
+base platform and keyword axes, e.g.::
+
+    sweep(allocator=("separable", "greedy"), bank_mapping=("hash", "linear"))
+
+yields the four combinations in cartesian order (first axis outermost),
+named ``separable-hash`` .. ``greedy-linear`` unless a ``name`` callable is
+given. Supported axes:
+
+* ``ordering`` -- :class:`~repro.core.ordering.OrderingMode` (Table 10);
+* ``bank_mapping`` / ``allocator`` / ``ideal_sram`` -- SpMU variants
+  (Table 9);
+* ``memory`` -- :class:`~repro.config.MemoryTechnology` (Table 12);
+* ``shuffle`` -- :class:`~repro.config.ShuffleMode` (Table 11).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import replace
+from enum import Enum
+from typing import Any, Callable, Dict, Iterable, Optional
+
+from ..apps.timing import CapstanPlatform
+from ..config import MemoryTechnology, ShuffleMode
+from ..errors import ConfigurationError
+
+#: Axes applied by replacing a CapstanPlatform field directly.
+_PLATFORM_FIELDS = ("ordering", "bank_mapping", "allocator", "ideal_sram")
+
+
+def _apply_axis(platform: CapstanPlatform, axis: str, value: Any) -> CapstanPlatform:
+    if axis in _PLATFORM_FIELDS:
+        return replace(platform, **{axis: value})
+    if axis == "memory":
+        if not isinstance(value, MemoryTechnology):
+            raise ConfigurationError(f"memory axis takes MemoryTechnology, got {value!r}")
+        return replace(platform, config=platform.config.with_memory(value))
+    if axis == "shuffle":
+        if not isinstance(value, ShuffleMode):
+            raise ConfigurationError(f"shuffle axis takes ShuffleMode, got {value!r}")
+        return replace(platform, config=platform.config.with_shuffle_mode(value))
+    raise ConfigurationError(
+        f"unknown sweep axis {axis!r}; known: {', '.join(_PLATFORM_FIELDS + ('memory', 'shuffle'))}"
+    )
+
+
+def _default_name(combo: Dict[str, Any]) -> str:
+    parts = []
+    for value in combo.values():
+        if isinstance(value, Enum):
+            parts.append(str(value.value))
+        else:
+            parts.append(str(value))
+    return "-".join(parts)
+
+
+def sweep(
+    base: Optional[CapstanPlatform] = None,
+    *,
+    name: Optional[Callable[[Dict[str, Any]], str]] = None,
+    **axes: Iterable[Any],
+) -> Dict[str, CapstanPlatform]:
+    """Generate named platform variants over the cartesian product of axes.
+
+    Args:
+        base: Platform the variants are derived from (default design point).
+        name: ``name(combo) -> str`` labelling each variant; defaults to
+            joining the axis values with ``-``.
+        **axes: One iterable of values per swept axis (see module docstring).
+
+    Returns:
+        ``{variant name: platform}`` in deterministic cartesian order, with
+        each platform's ``name`` field set to its variant name.
+    """
+    if not axes:
+        raise ConfigurationError("sweep() needs at least one axis")
+    base = base if base is not None else CapstanPlatform()
+    label = name or _default_name
+    keys = list(axes)
+    variants: Dict[str, CapstanPlatform] = {}
+    for values in itertools.product(*(list(axes[k]) for k in keys)):
+        combo = dict(zip(keys, values))
+        platform = base
+        for axis, value in combo.items():
+            platform = _apply_axis(platform, axis, value)
+        variant_name = label(combo)
+        if variant_name in variants:
+            raise ConfigurationError(f"duplicate sweep variant name {variant_name!r}")
+        variants[variant_name] = replace(platform, name=variant_name)
+    return variants

@@ -1,0 +1,314 @@
+"""Tests for the experiment runtime: registry, profile cache, runner, sweep."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.apps.profile import WorkloadProfile
+from repro.core.ordering import OrderingMode
+from repro.config import MemoryTechnology, ScannerConfig
+from repro.errors import ConfigurationError
+from repro.eval.experiments import APP_DATASETS, APP_ORDER
+from repro.runtime import registry as registry_module
+from repro.runtime.cache import ProfileCache, profile_from_dict, profile_to_dict
+from repro.runtime.registry import AppSpec, RegistryError, RunContext, register
+from repro.runtime.runner import ExperimentRunner
+from repro.runtime.sweep import sweep
+
+#: Expected Table 12 application order.
+EXPECTED_APPS = (
+    "spmv-csr",
+    "spmv-coo",
+    "spmv-csc",
+    "conv",
+    "pagerank-pull",
+    "pagerank-edge",
+    "bfs",
+    "sssp",
+    "spadd",
+    "spmspm",
+    "bicgstab",
+)
+
+#: Small scale for the functional runs these tests do perform.
+TINY = 1.0 / 512.0
+
+
+class TestRegistry:
+    def test_all_eleven_apps_registered_in_order(self):
+        assert registry_module.app_order() == EXPECTED_APPS
+
+    def test_registry_matches_eval_views(self):
+        assert APP_ORDER == registry_module.app_order()
+        assert APP_DATASETS == registry_module.app_datasets()
+        for spec in registry_module.registered_specs():
+            assert len(spec.datasets) == 3
+
+    def test_unknown_app_raises(self):
+        with pytest.raises(RegistryError):
+            registry_module.get_spec("not-an-app")
+        # RegistryError is a ValueError, preserving the legacy contract.
+        with pytest.raises(ValueError):
+            registry_module.execute("not-an-app", "ckt11752_dc_1")
+
+    def test_conflicting_registration_raises_identical_reload_allowed(self):
+        spec = registry_module.get_spec("bfs")
+        # A module reload produces a new-but-identical spec: allowed.
+        clone = dataclasses.replace(spec)
+        try:
+            assert register(clone) is clone
+        finally:
+            register(spec)
+        # Same name with a different shape: rejected.
+        conflicting = dataclasses.replace(spec, datasets=("flickr",))
+        with pytest.raises(RegistryError):
+            register(conflicting)
+        assert registry_module.get_spec("bfs").datasets == spec.datasets
+
+    def test_execute_round_trips_through_spec(self):
+        context = RunContext(scale=TINY)
+        profile = registry_module.execute("spmv-csr", "ckt11752_dc_1", context)
+        assert profile.app == "spmv-csr"
+        assert profile.dataset == "ckt11752_dc_1"
+        assert profile.compute_iterations > 0
+
+    def test_scanner_override_changes_scan_cost_and_restores_default(self):
+        from repro.apps import scan_model
+
+        default_ctor = scan_model.ScannerConfig
+        base = registry_module.execute("spadd", "ckt11752_dc_1", RunContext(scale=TINY))
+        narrow = registry_module.execute(
+            "spadd",
+            "ckt11752_dc_1",
+            RunContext(scale=TINY, scanner=ScannerConfig(bit_width=1, output_vectorization=1)),
+        )
+        assert scan_model.ScannerConfig is default_ctor
+        assert narrow.scan_cycles > base.scan_cycles
+
+
+class TestProfileCache:
+    def _profile(self, **overrides) -> WorkloadProfile:
+        values = dict(
+            app="spmv-csr",
+            dataset="ckt11752_dc_1",
+            compute_iterations=100,
+            vector_slots=10,
+            tile_work=[1.0, 2.5],
+            extra={"touched_nnz": 42.0},
+        )
+        values.update(overrides)
+        return WorkloadProfile(**values)
+
+    def test_round_trip_preserves_every_field(self, tmp_path):
+        cache = ProfileCache(root=tmp_path)
+        profile = self._profile()
+        key = cache.key("spmv-csr", "ckt11752_dc_1", RunContext(scale=TINY))
+        cache.store(key, profile)
+        loaded = cache.load(key)
+        assert loaded is not None
+        assert profile_to_dict(loaded) == profile_to_dict(profile)
+        assert cache.hits == 1 and cache.stores == 1
+
+    def test_miss_on_empty_cache(self, tmp_path):
+        cache = ProfileCache(root=tmp_path)
+        assert cache.load(cache.key("bfs", "flickr", RunContext())) is None
+        assert cache.misses == 1
+
+    def test_key_changes_with_scale_and_context(self, tmp_path):
+        cache = ProfileCache(root=tmp_path)
+        base = cache.key("bfs", "flickr", RunContext(scale=1 / 64))
+        assert cache.key("bfs", "flickr", RunContext(scale=1 / 128)) != base
+        assert cache.key("bfs", "flickr", RunContext(scale=1 / 64, pagerank_iterations=3)) != base
+        assert cache.key("bfs", "usroads-48", RunContext(scale=1 / 64)) != base
+        assert cache.key("sssp", "flickr", RunContext(scale=1 / 64)) != base
+        assert cache.key("bfs", "flickr", RunContext(scale=1 / 64)) == base
+
+    def test_key_fingerprints_only_declared_context_fields(self, tmp_path):
+        cache = ProfileCache(root=tmp_path)
+        base = cache.key("bfs", "flickr", RunContext(scale=1 / 64), context_fields=("scale",))
+        same = cache.key(
+            "bfs",
+            "flickr",
+            RunContext(scale=1 / 64, pagerank_iterations=5, conv_scale=0.5),
+            context_fields=("scale",),
+        )
+        assert same == base
+        assert registry_module.get_spec("bfs").context_fields == ("scale",)
+        # SpMSpM hardcodes full scale, so its profiles are scale-independent.
+        assert registry_module.get_spec("spmspm").context_fields == ()
+        assert cache.key(
+            "spmspm", "qc324", RunContext(scale=1 / 64), context_fields=()
+        ) == cache.key("spmspm", "qc324", RunContext(scale=1 / 512), context_fields=())
+
+    def test_key_includes_full_scanner_config(self, tmp_path):
+        cache = ProfileCache(root=tmp_path)
+        wide = cache.key(
+            "conv", "resnet50-1", RunContext(scanner=ScannerConfig(data_width=16))
+        )
+        narrow = cache.key(
+            "conv", "resnet50-1", RunContext(scanner=ScannerConfig(data_width=1))
+        )
+        assert wide != narrow
+
+    def test_key_changes_with_code_fingerprint(self, tmp_path):
+        cache = ProfileCache(root=tmp_path)
+        context = RunContext(scale=1 / 64)
+        old_code = cache.key("bfs", "flickr", context, fingerprint="aaa")
+        new_code = cache.key("bfs", "flickr", context, fingerprint="bbb")
+        assert old_code != new_code
+        cache.store(old_code, self._profile(app="bfs", dataset="flickr"))
+        assert cache.load(new_code) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ProfileCache(root=tmp_path)
+        key = cache.key("bfs", "flickr", RunContext())
+        cache.store(key, self._profile(app="bfs", dataset="flickr"))
+        (tmp_path / f"{key}.json").write_text("{not json")
+        assert cache.load(key) is None
+
+    def test_unknown_fields_ignored_on_load(self):
+        data = profile_to_dict(self._profile())
+        data["from_the_future"] = 1
+        restored = profile_from_dict(data)
+        assert restored.app == "spmv-csr"
+
+    def test_clear(self, tmp_path):
+        cache = ProfileCache(root=tmp_path)
+        cache.store(cache.key("bfs", "flickr", RunContext()), self._profile())
+        (tmp_path / "leftover.tmp").write_text("partial write")
+        assert len(cache) == 1
+        assert cache.clear() == 2
+        assert len(cache) == 0
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_prune_removes_stale_code_entries_and_temps(self, tmp_path):
+        import json
+
+        cache = ProfileCache(root=tmp_path)
+        fresh_key = cache.key("bfs", "flickr", RunContext())
+        cache.store(fresh_key, self._profile(app="bfs", dataset="flickr"))
+        stale_path = tmp_path / "stale.json"
+        payload = json.loads((tmp_path / f"{fresh_key}.json").read_text())
+        payload["code"] = "an-older-fingerprint"
+        stale_path.write_text(json.dumps(payload))
+        (tmp_path / "leftover.tmp").write_text("partial write")
+        assert cache.prune() == 2
+        assert cache.load(fresh_key) is not None
+        assert not stale_path.exists()
+        assert not list(tmp_path.glob("*.tmp"))
+
+
+class TestExperimentRunner:
+    APPS = ["spmv-csr", "bfs"]
+
+    def test_serial_and_parallel_results_equivalent(self):
+        context = RunContext(scale=TINY)
+        serial = ExperimentRunner(context=context, workers=1, cache=False).run(apps=self.APPS)
+        parallel = ExperimentRunner(context=context, workers=2, cache=False).run(apps=self.APPS)
+        assert [(r.app, r.dataset, r.status) for r in serial.results] == [
+            (r.app, r.dataset, r.status) for r in parallel.results
+        ]
+        for left, right in zip(serial.results, parallel.results):
+            assert profile_to_dict(left.profile) == profile_to_dict(right.profile)
+
+    def test_warm_cache_run_performs_zero_functional_executions(self, tmp_path, monkeypatch):
+        context = RunContext(scale=TINY)
+        cache = ProfileCache(root=tmp_path)
+        cold = ExperimentRunner(context=context, workers=1, cache=cache).run(apps=self.APPS)
+        assert cold.executed_count() == len(cold.results)
+
+        def forbidden(*args, **kwargs):
+            raise AssertionError("functional execution on a warm cache")
+
+        monkeypatch.setattr(registry_module, "execute", forbidden)
+        warm = ExperimentRunner(context=context, workers=1, cache=cache).run(apps=self.APPS)
+        assert warm.cached_count() == len(warm.results)
+        assert warm.executed_count() == 0
+        for left, right in zip(cold.results, warm.results):
+            assert profile_to_dict(left.profile) == profile_to_dict(right.profile)
+
+    def test_cache_invalidated_on_scale_change(self, tmp_path):
+        cache = ProfileCache(root=tmp_path)
+        first = ExperimentRunner(
+            context=RunContext(scale=TINY), workers=1, cache=cache
+        ).run(apps=["spmv-csr"])
+        assert first.cached_count() == 0
+        rescaled = ExperimentRunner(
+            context=RunContext(scale=1 / 256), workers=1, cache=cache
+        ).run(apps=["spmv-csr"])
+        assert rescaled.cached_count() == 0
+        assert rescaled.executed_count() == len(rescaled.results)
+
+    def test_task_grid_is_deterministic(self):
+        runner = ExperimentRunner(cache=False)
+        grid = runner.tasks()
+        assert grid == [
+            (app, dataset) for app in EXPECTED_APPS for dataset in APP_DATASETS[app]
+        ]
+
+    def test_error_reporting_without_raise(self):
+        failing = AppSpec(
+            name="always-fails",
+            datasets=("ckt11752_dc_1", "Trefethen_20000"),
+            prepare=lambda dataset, context: {},
+            run=lambda: (_ for _ in ()).throw(RuntimeError("boom")),
+            order=9999,
+        )
+        register(failing)
+        try:
+            report = ExperimentRunner(cache=False, raise_on_error=False).run(
+                apps=["always-fails"]
+            )
+            assert len(report.errors()) == 2
+            assert "boom" in report.errors()[0].error
+            with pytest.raises(RuntimeError):
+                ExperimentRunner(cache=False, raise_on_error=True).run(apps=["always-fails"])
+            # Across a process pool the worker traceback is chained on.
+            with pytest.raises(RuntimeError) as excinfo:
+                ExperimentRunner(cache=False, workers=2, raise_on_error=True).run(
+                    apps=["always-fails"]
+                )
+            assert "boom" in str(excinfo.value.__cause__)
+        finally:
+            registry_module._REGISTRY.pop("always-fails", None)
+
+
+class TestSweep:
+    def test_cartesian_order_and_names(self):
+        variants = sweep(
+            allocator=("separable", "greedy"), bank_mapping=("hash", "linear")
+        )
+        assert list(variants) == [
+            "separable-hash",
+            "separable-linear",
+            "greedy-hash",
+            "greedy-linear",
+        ]
+        assert variants["greedy-linear"].allocator == "greedy"
+        assert variants["greedy-linear"].bank_mapping == "linear"
+        assert variants["greedy-linear"].name == "greedy-linear"
+
+    def test_memory_and_ordering_axes(self):
+        variants = sweep(
+            memory=(MemoryTechnology.HBM2E, MemoryTechnology.DDR4),
+            ordering=(OrderingMode.UNORDERED,),
+        )
+        assert list(variants) == ["hbm2e-unordered", "ddr4-unordered"]
+        assert variants["ddr4-unordered"].config.memory is MemoryTechnology.DDR4
+
+    def test_custom_naming(self):
+        variants = sweep(
+            memory=(MemoryTechnology.HBM2,),
+            name=lambda combo: f"capstan-{combo['memory'].value}",
+        )
+        assert list(variants) == ["capstan-hbm2"]
+
+    def test_invalid_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep(warp_drive=(1, 2))
+        with pytest.raises(ConfigurationError):
+            sweep()
+        with pytest.raises(ConfigurationError):
+            sweep(memory=("hbm2e",))
