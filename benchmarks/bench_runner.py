@@ -1,13 +1,20 @@
-"""Benchmark the experiment runner: cold vs. warm cache, serial vs. parallel.
+"""Benchmark the experiment runner: cache states, pool sizes, and backends.
 
-Times full-grid ``collect_profiles`` wall time under four configurations --
-cold serial, cold parallel, warm cache, and cache-disabled serial (the
-pre-runtime baseline behaviour) -- and writes ``BENCH_runner.json`` at the
-repository root to seed the performance trajectory.
+Times full-grid ``collect_profiles`` wall time under five configurations --
+cold serial, warm cache, cold parallel, cache-disabled serial, and the
+per-element ``reference`` profiling backend (the pre-vectorization
+behaviour) -- and writes ``BENCH_runner.json`` at the repository root to
+track the performance trajectory.
+
+With ``--baseline`` the run additionally compares its cold vectorized time
+against a committed record and fails (exit code 1) when it regressed by
+more than ``--max-slowdown`` (the CI ``bench-smoke`` job's contract).
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_runner.py [--scale 1/256] [--workers 4]
+    PYTHONPATH=src python benchmarks/bench_runner.py [--scale 1/16] [--workers 4]
+    PYTHONPATH=src python benchmarks/bench_runner.py --no-reference \\
+        --baseline BENCH_runner.json --output bench-ci.json
 """
 
 from __future__ import annotations
@@ -30,21 +37,53 @@ def _timed(**kwargs) -> float:
     return time.perf_counter() - start
 
 
+def _parse_scale(text: str) -> float:
+    if "/" in text:
+        numerator, _, denominator = text.partition("/")
+        return float(numerator) / float(denominator)
+    return float(text)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--scale", default="1/256", help="dataset scale (default 1/256)")
+    parser.add_argument("--scale", default="1/16", help="dataset scale (default 1/16)")
     parser.add_argument("--workers", type=int, default=4, help="parallel pool size")
+    parser.add_argument(
+        "--no-reference",
+        action="store_true",
+        help="skip the (slow) reference-backend pass",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="committed benchmark record to regression-check the cold vectorized time against",
+    )
+    parser.add_argument(
+        "--max-slowdown",
+        type=float,
+        default=2.0,
+        help="fail when cold_serial_s exceeds baseline by this factor (default 2.0)",
+    )
     parser.add_argument(
         "--output",
         default=str(Path(__file__).resolve().parent.parent / "BENCH_runner.json"),
         help="where to write the benchmark record",
     )
     args = parser.parse_args(argv)
-    if "/" in args.scale:
-        numerator, _, denominator = args.scale.partition("/")
-        scale = float(numerator) / float(denominator)
-    else:
-        scale = float(args.scale)
+    scale = _parse_scale(args.scale)
+    # Read the baseline up front: --output may overwrite the same file.
+    baseline = json.loads(Path(args.baseline).read_text()) if args.baseline else None
+    if baseline is not None and baseline.get("scale") != scale:
+        print(
+            f"baseline was recorded at scale {baseline.get('scale')}, not {scale}; "
+            "the regression check would compare different workloads",
+            file=sys.stderr,
+        )
+        return 2
+
+    # Warm the in-process dataset-generation cache so every configuration
+    # below measures profiling cost, not synthetic-matrix generation.
+    collect_profiles(scale=scale, workers=1, cache=False)
 
     with tempfile.TemporaryDirectory() as tmp_serial, tempfile.TemporaryDirectory() as tmp_par:
         uncached_s = _timed(scale=scale, workers=1, cache=False)
@@ -52,6 +91,11 @@ def main(argv=None) -> int:
         warm_serial_s = _timed(scale=scale, workers=1, cache=ProfileCache(root=tmp_serial))
         cold_parallel_s = _timed(
             scale=scale, workers=args.workers, cache=ProfileCache(root=tmp_par)
+        )
+        reference_serial_s = (
+            None
+            if args.no_reference
+            else _timed(scale=scale, workers=1, cache=False, backend="reference")
         )
 
     record = {
@@ -63,11 +107,34 @@ def main(argv=None) -> int:
         "cold_serial_s": round(cold_serial_s, 3),
         "warm_serial_s": round(warm_serial_s, 3),
         "cold_parallel_s": round(cold_parallel_s, 3),
+        "reference_serial_s": (
+            None if reference_serial_s is None else round(reference_serial_s, 3)
+        ),
         "parallel_speedup": round(cold_serial_s / cold_parallel_s, 2),
         "warm_cache_speedup": round(cold_serial_s / warm_serial_s, 2),
+        "vectorized_speedup": (
+            None
+            if reference_serial_s is None
+            else round(reference_serial_s / uncached_s, 2)
+        ),
     }
     Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
     print(json.dumps(record, indent=2))
+
+    if baseline is not None:
+        budget = baseline["cold_serial_s"] * args.max_slowdown
+        if cold_serial_s > budget:
+            print(
+                f"REGRESSION: cold_serial_s {cold_serial_s:.3f}s exceeds "
+                f"{args.max_slowdown}x the baseline ({baseline['cold_serial_s']}s "
+                f"at scale {baseline['scale']})",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"baseline check ok: {cold_serial_s:.3f}s <= {budget:.3f}s "
+            f"({args.max_slowdown}x of {baseline['cold_serial_s']}s)"
+        )
     return 0
 
 

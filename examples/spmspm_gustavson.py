@@ -47,7 +47,7 @@ def main() -> None:
     other = to_csr(load_dataset("ckt11752_dc_1", scale=1 / 16, seed=31).matrix)
     flat = sparse_add(hypersparse, other, use_bittree=False)
     tree = sparse_add(hypersparse, other, use_bittree=True)
-    assert np.allclose(tree.output, reference_add(hypersparse, other)), "M+M mismatch"
+    assert np.allclose(tree.output.to_dense(), reference_add(hypersparse, other)), "M+M mismatch"
     flat_cycles, _ = estimate_cycles(flat.profile)
     tree_cycles, _ = estimate_cycles(tree.profile)
     print("\nSparse matrix addition (M+M) on a <0.1%-dense circuit matrix")

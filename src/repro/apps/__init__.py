@@ -8,11 +8,18 @@ Importing this package also populates the experiment registry
 
 from .bfs import bfs, reference_bfs_levels
 from .bicgstab import BiCGStabResult, bicgstab
-from .common import AppRun, best_source
+from .common import BACKENDS, AppRun, best_source, check_backend
 from .conv import sparse_convolution
 from .pagerank import pagerank_edge, pagerank_pull, reference_pagerank
-from .profile import WorkloadProfile, vector_slots_for
-from .scan_model import ScanCost, data_scan_cost, scan_cost_pair, scan_cost_single
+from .profile import WorkloadProfile, vector_slots_batch, vector_slots_for
+from .scan_model import (
+    ScanCost,
+    data_scan_cost,
+    scan_cost_growing_unions,
+    scan_cost_pair,
+    scan_cost_rows,
+    scan_cost_single,
+)
 from .spadd import reference_add, sparse_add
 from .spmspm import reference_spmspm, spmspm
 from .spmv import reference_spmv, spmv_coo, spmv_csc, spmv_csr
@@ -21,12 +28,17 @@ from .timing import CapstanPlatform, default_platform, estimate_cycles, ideal_pl
 
 __all__ = [
     "AppRun",
+    "BACKENDS",
     "best_source",
+    "check_backend",
     "WorkloadProfile",
     "vector_slots_for",
+    "vector_slots_batch",
     "ScanCost",
     "scan_cost_single",
     "scan_cost_pair",
+    "scan_cost_rows",
+    "scan_cost_growing_unions",
     "data_scan_cost",
     "spmv_csr",
     "spmv_coo",

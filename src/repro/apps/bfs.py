@@ -16,19 +16,16 @@ level), so the on-chip network latency per level shows up in Figure 7.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from ..errors import WorkloadError
-from ..formats.csc import CSCMatrix
 from ..formats.coo import COOMatrix
 from ..formats.csr import CSRMatrix
 from ..runtime.registry import RunContext, register_app
 from ..workloads import GRAPH_DATASET_NAMES, load_dataset
-from .common import AppRun, best_source
-from .profile import WorkloadProfile, vector_slots_for
-from .scan_model import ScanCost, scan_cost_single, zero_cost
+from .common import BACKEND_REFERENCE, AppRun, best_source, check_backend, expand_slices
+from .profile import WorkloadProfile, vector_slots_batch, vector_slots_for
+from .scan_model import scan_cost_single, zero_cost
 from .spmv import DEFAULT_OUTER_PARALLELISM, _pointer_compression
 
 
@@ -38,8 +35,14 @@ def bfs(
     dataset: str = "synthetic",
     outer_parallelism: int = DEFAULT_OUTER_PARALLELISM,
     write_backpointers: bool = True,
+    backend: str = "vectorized",
 ) -> AppRun:
     """Frontier-based BFS from ``source``.
+
+    Levels are inherently sequential (each frontier depends on the last),
+    so both backends iterate levels; the vectorized backend expands each
+    level's adjacency lists in one ragged gather and claims parents by
+    first occurrence -- exactly the order the reference loop visits them.
 
     Args:
         adjacency: Directed graph (``src -> dst``) in COO form.
@@ -48,11 +51,13 @@ def bfs(
         outer_parallelism: CU/SpMU pairs frontier vertices are spread across.
         write_backpointers: Whether to maintain the parent-pointer array
             (disabled for the Graphicionado comparison, Section 4.4).
+        backend: ``"vectorized"`` (batch kernels) or ``"reference"`` (loops).
 
     Returns:
         An :class:`AppRun` whose output is the parent array (``-1`` for
         unreached vertices, ``source`` for itself).
     """
+    check_backend(backend)
     n = adjacency.shape[0]
     if not 0 <= source < n:
         raise WorkloadError("source vertex out of range")
@@ -74,8 +79,8 @@ def bfs(
 
     levels = 0
     edges_traversed = 0
+    vector_slots = 0
     frontier_scan = zero_cost()
-    trip_counts = []
     tiles = outer_parallelism
     tile_work = np.zeros(tiles, dtype=np.float64)
     cross_requests = 0
@@ -86,21 +91,45 @@ def bfs(
         frontier_vertices = np.nonzero(frontier)[0]
         frontier_scan = frontier_scan.merge(scan_cost_single(frontier_vertices, n))
         next_frontier = np.zeros(n, dtype=bool)
-        for slot, s in enumerate(frontier_vertices.tolist()):
-            start, end = row_pointers[s], row_pointers[s + 1]
-            neighbours = col_indices[start:end]
-            trip_counts.append(int(neighbours.size))
-            edges_traversed += int(neighbours.size)
-            tile_work[slot % tiles] += max(1, neighbours.size)
-            if neighbours.size:
-                owner = np.minimum(neighbours // nodes_per_tile, tiles - 1)
-                cross_requests += int(np.count_nonzero(owner != (slot % tiles)))
-                fresh = ~reached[neighbours]
-                fresh_neighbours = neighbours[fresh]
-                if write_backpointers and fresh_neighbours.size:
-                    parent[fresh_neighbours] = s
-                next_frontier[fresh_neighbours] = True
-                reached[fresh_neighbours] = True
+        if backend == BACKEND_REFERENCE:
+            trip_counts = []
+            for slot, s in enumerate(frontier_vertices.tolist()):
+                start, end = row_pointers[s], row_pointers[s + 1]
+                neighbours = col_indices[start:end]
+                trip_counts.append(int(neighbours.size))
+                edges_traversed += int(neighbours.size)
+                tile_work[slot % tiles] += max(1, neighbours.size)
+                if neighbours.size:
+                    owner = np.minimum(neighbours // nodes_per_tile, tiles - 1)
+                    cross_requests += int(np.count_nonzero(owner != (slot % tiles)))
+                    fresh = ~reached[neighbours]
+                    fresh_neighbours = neighbours[fresh]
+                    if write_backpointers and fresh_neighbours.size:
+                        parent[fresh_neighbours] = s
+                    next_frontier[fresh_neighbours] = True
+                    reached[fresh_neighbours] = True
+            vector_slots += vector_slots_for(trip_counts)
+        else:
+            flat, lengths = expand_slices(row_pointers, frontier_vertices)
+            neighbours = col_indices[flat]
+            vector_slots += vector_slots_batch(lengths)
+            edges_traversed += int(lengths.sum())
+            slots = np.arange(frontier_vertices.size, dtype=np.int64) % tiles
+            tile_work += np.bincount(
+                slots, weights=np.maximum(1, lengths), minlength=tiles
+            )
+            owner = np.minimum(neighbours // nodes_per_tile, tiles - 1)
+            cross_requests += int(
+                np.count_nonzero(owner != np.repeat(slots, lengths))
+            )
+            fresh = ~reached[neighbours]
+            # First edge to each fresh vertex claims it, exactly as the
+            # sequential visit order does (np.unique keeps first occurrence).
+            claimed, claim_idx = np.unique(neighbours[fresh], return_index=True)
+            if write_backpointers and claimed.size:
+                parent[claimed] = np.repeat(frontier_vertices, lengths)[fresh][claim_idx]
+            next_frontier[claimed] = True
+            reached[claimed] = True
         frontier = next_frontier
 
     updates_per_edge = 3 if write_backpointers else 2
@@ -108,7 +137,7 @@ def bfs(
         app="bfs",
         dataset=dataset,
         compute_iterations=edges_traversed,
-        vector_slots=vector_slots_for(trip_counts),
+        vector_slots=vector_slots,
         scan_cycles=frontier_scan.cycles,
         scan_empty_cycles=frontier_scan.empty_cycles,
         scan_elements=frontier_scan.elements,

@@ -20,8 +20,8 @@ import numpy as np
 from ..errors import WorkloadError
 from ..runtime.registry import RunContext, register_app
 from ..workloads.resnet import RESNET_LAYERS, ConvWorkload, generate_conv_layer
-from .common import AppRun
-from .profile import WorkloadProfile, vector_slots_for
+from .common import BACKEND_REFERENCE, AppRun, check_backend
+from .profile import WorkloadProfile, vector_slots_batch, vector_slots_for
 from .scan_model import data_scan_cost
 from .spmv import DEFAULT_OUTER_PARALLELISM
 
@@ -30,6 +30,7 @@ def sparse_convolution(
     workload: ConvWorkload,
     dataset: str = "resnet50",
     outer_parallelism: int = DEFAULT_OUTER_PARALLELISM,
+    backend: str = "vectorized",
 ) -> AppRun:
     """Zero-skipping convolution over a pruned layer.
 
@@ -38,11 +39,13 @@ def sparse_convolution(
             :func:`repro.workloads.resnet.generate_conv_layer`.
         dataset: Dataset label for the profile.
         outer_parallelism: CU/SpMU pairs the spatial tiles are spread across.
+        backend: ``"vectorized"`` (batch kernels) or ``"reference"`` (loops).
 
     Returns:
         An :class:`AppRun` whose output is the dense output tensor
         ``(out_channels, H, W)``.
     """
+    check_backend(backend)
     activations = workload.activations
     weights = workload.weights
     in_ch, h, w = activations.shape
@@ -55,7 +58,7 @@ def sparse_convolution(
     macs = 0
     updates = 0
     activation_nnz = 0
-    kernel_trip_counts = []
+    vector_slots = 0
     tiles = outer_parallelism
     tile_work = np.zeros(tiles, dtype=np.float64)
     # Spatial tiling: split the image into `tiles` horizontal stripes; a
@@ -72,20 +75,51 @@ def sparse_convolution(
         k_r, k_c, k_o = np.nonzero(kernel)
         kernel_values = kernel[k_r, k_c, k_o]
         kernel_nnz = k_r.size
-        for r, c in zip(nz_r.tolist(), nz_c.tolist()):
-            act_value = float(act_plane[r, c])
-            kernel_trip_counts.append(kernel_nnz)
-            if not kernel_nnz:
+        if backend == BACKEND_REFERENCE:
+            vector_slots += vector_slots_for([kernel_nnz] * nz_r.size)
+            for r, c in zip(nz_r.tolist(), nz_c.tolist()):
+                act_value = float(act_plane[r, c])
+                if not kernel_nnz:
+                    continue
+                out_rows = r + k_r
+                out_cols = c + k_c
+                np.add.at(output, (k_o, out_rows, out_cols), act_value * kernel_values)
+                macs += kernel_nnz
+                updates += kernel_nnz
+                source_tile = min(r // rows_per_tile, tiles - 1)
+                target_tiles = np.minimum(out_rows // rows_per_tile, tiles - 1)
+                cross_updates += int(np.count_nonzero(target_tiles != source_tile))
+                tile_work[source_tile] += kernel_nnz
+        else:
+            # One inner-loop instance per non-zero activation, each over the
+            # channel's non-zero kernel taps.
+            vector_slots += int(nz_r.size) * vector_slots_batch([kernel_nnz])
+            if not kernel_nnz or not nz_r.size:
                 continue
-            out_rows = r + k_r
-            out_cols = c + k_c
-            np.add.at(output, (k_o, out_rows, out_cols), act_value * kernel_values)
-            macs += kernel_nnz
-            updates += kernel_nnz
-            source_tile = min(r // rows_per_tile, tiles - 1)
+            # Outer product of activations and kernel taps, scattered into
+            # the padded output in one pass.
+            out_rows = (nz_r[:, None] + k_r[None, :]).ravel()
+            out_cols = (nz_c[:, None] + k_c[None, :]).ravel()
+            out_chan = np.broadcast_to(k_o, (nz_r.size, kernel_nnz)).ravel()
+            products = (
+                act_plane[nz_r, nz_c][:, None] * kernel_values[None, :]
+            ).ravel()
+            flat = np.ravel_multi_index((out_chan, out_rows, out_cols), output.shape)
+            output += np.bincount(
+                flat, weights=products, minlength=output.size
+            ).reshape(output.shape)
+            macs += int(nz_r.size) * kernel_nnz
+            updates += int(nz_r.size) * kernel_nnz
+            source_tile = np.minimum(nz_r // rows_per_tile, tiles - 1)
             target_tiles = np.minimum(out_rows // rows_per_tile, tiles - 1)
-            cross_updates += int(np.count_nonzero(target_tiles != source_tile))
-            tile_work[source_tile] += kernel_nnz
+            cross_updates += int(
+                np.count_nonzero(
+                    target_tiles != np.repeat(source_tile, kernel_nnz)
+                )
+            )
+            tile_work += np.bincount(
+                source_tile, weights=np.full(nz_r.size, float(kernel_nnz)), minlength=tiles
+            )
 
     # Crop the padded accumulation buffer back to the layer's output size.
     cropped = output[:, pad_h : pad_h + h, pad_w : pad_w + w]
@@ -96,7 +130,7 @@ def sparse_convolution(
         app="conv",
         dataset=dataset,
         compute_iterations=macs,
-        vector_slots=vector_slots_for(kernel_trip_counts),
+        vector_slots=vector_slots,
         scan_cycles=data_scan.cycles,
         scan_empty_cycles=data_scan.empty_cycles,
         scan_elements=data_scan.elements,

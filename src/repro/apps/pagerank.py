@@ -14,8 +14,6 @@ Both variants are validated against a dense-power-iteration reference.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from ..errors import WorkloadError
@@ -23,8 +21,16 @@ from ..formats.coo import COOMatrix
 from ..formats.csr import CSRMatrix
 from ..runtime.registry import RunContext, register_app
 from ..workloads import GRAPH_DATASET_NAMES, load_dataset
-from .common import AppRun, cross_tile_fraction_rows, tile_rows_by_nnz, tile_work_from_partition
-from .profile import WorkloadProfile, vector_slots_for
+from .common import (
+    BACKEND_REFERENCE,
+    AppRun,
+    check_backend,
+    cross_tile_fraction_rows,
+    cross_tile_fraction_rows_batch,
+    tile_rows_by_nnz,
+    tile_work_from_partition,
+)
+from .profile import WorkloadProfile, vector_slots_batch, vector_slots_for
 from .spmv import DEFAULT_OUTER_PARALLELISM, _pointer_compression
 
 #: Damping factor used by every PageRank variant.
@@ -43,6 +49,7 @@ def pagerank_pull(
     iterations: int = 3,
     dataset: str = "synthetic",
     outer_parallelism: int = DEFAULT_OUTER_PARALLELISM,
+    backend: str = "vectorized",
 ) -> AppRun:
     """Pull-based PageRank: for each vertex, sum rank from its in-neighbours.
 
@@ -52,7 +59,9 @@ def pagerank_pull(
             per-iteration throughput; a few iterations suffice).
         dataset: Dataset label for the profile.
         outer_parallelism: CU/SpMU pairs vertices are spread across.
+        backend: ``"vectorized"`` (batch kernels) or ``"reference"`` (loops).
     """
+    check_backend(backend)
     if iterations <= 0:
         raise WorkloadError("iterations must be positive")
     n = adjacency.shape[0]
@@ -67,23 +76,34 @@ def pagerank_pull(
 
     row_pointers = transposed.row_pointers
     col_indices = transposed.col_indices
+    in_degrees = transposed.row_lengths()
+    row_of_edge = np.repeat(np.arange(n, dtype=np.int64), in_degrees)
     for _ in range(iterations):
         contribution = rank / out_degree
-        new_rank = np.empty(n, dtype=np.float64)
-        for v in range(n):
-            start, end = row_pointers[v], row_pointers[v + 1]
-            new_rank[v] = float(contribution[col_indices[start:end]].sum())
+        if backend == BACKEND_REFERENCE:
+            new_rank = np.empty(n, dtype=np.float64)
+            for v in range(n):
+                start, end = row_pointers[v], row_pointers[v + 1]
+                new_rank[v] = float(contribution[col_indices[start:end]].sum())
+        else:
+            new_rank = np.bincount(
+                row_of_edge, weights=contribution[col_indices], minlength=n
+            )
         rank = (1.0 - DAMPING) / n + DAMPING * new_rank
 
-    in_degrees = transposed.row_lengths()
     partitioning = tile_rows_by_nnz(transposed, outer_parallelism)
-    cross_fraction = cross_tile_fraction_rows(transposed, partitioning)
+    if backend == BACKEND_REFERENCE:
+        vector_slots = vector_slots_for(in_degrees.tolist())
+        cross_fraction = cross_tile_fraction_rows(transposed, partitioning)
+    else:
+        vector_slots = vector_slots_batch(in_degrees)
+        cross_fraction = cross_tile_fraction_rows_batch(transposed, partitioning)
     nnz = transposed.nnz
     profile = WorkloadProfile(
         app="pagerank-pull",
         dataset=dataset,
         compute_iterations=iterations * nnz,
-        vector_slots=iterations * vector_slots_for(in_degrees.tolist()),
+        vector_slots=iterations * vector_slots,
         sram_random_reads=iterations * nnz,
         sram_random_updates=0,
         dram_stream_read_bytes=iterations * 4.0 * (2 * nnz + n + 1),
@@ -105,8 +125,12 @@ def pagerank_edge(
     dataset: str = "synthetic",
     outer_parallelism: int = DEFAULT_OUTER_PARALLELISM,
     ranks_fit_on_chip: bool = True,
+    backend: str = "vectorized",
 ) -> AppRun:
     """Edge-centric PageRank: scatter rank along every edge with atomics.
+
+    The edge-centric kernel's counters were always computed analytically
+    from the COO triplet arrays, so both backends share one implementation.
 
     Args:
         adjacency: Directed graph as a COO adjacency matrix.
@@ -117,7 +141,9 @@ def pagerank_edge(
             rank vectors fit in Capstan's 50 MiB of distributed SRAM),
             destination updates are on-chip SpMU updates; if ``False``
             they are atomic DRAM updates through the address generators.
+        backend: Accepted for interface uniformity (both backends match).
     """
+    check_backend(backend)
     if iterations <= 0:
         raise WorkloadError("iterations must be positive")
     n = adjacency.shape[0]

@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+import numpy as np
+
 
 @dataclass
 class WorkloadProfile:
@@ -169,3 +171,15 @@ def vector_slots_for(trip_counts: List[int], lanes: int = 16) -> int:
     for trip in trip_counts:
         slots += max(1, (trip + lanes - 1) // lanes) if trip else 1
     return slots
+
+
+def vector_slots_batch(trip_counts, lanes: int = 16) -> int:
+    """Batch form of :func:`vector_slots_for` over an integer array.
+
+    Every loop instance consumes at least one issue slot (a zero-trip loop
+    still issues), so the per-instance cost is ``max(1, ceil(trip/lanes))``.
+    """
+    trips = np.asarray(trip_counts, dtype=np.int64)
+    if trips.size == 0:
+        return 0
+    return int(np.maximum(1, (trips + lanes - 1) // lanes).sum())

@@ -22,7 +22,7 @@ Equivalence with the hardware model is asserted by property-based tests in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -176,6 +176,198 @@ def _bittree_cost(indices: np.ndarray, space_length: int, config: ScannerConfig)
         empty_cycles=top.empty_cycles,
         elements=int(indices.size),
         chunks=top.chunks + int(tile_ids.size) * chunks_per_tile,
+    )
+
+
+def _group_starts(sorted_keys: np.ndarray) -> np.ndarray:
+    """Start offsets of each run of equal values in a sorted key array."""
+    if sorted_keys.size == 0:
+        return np.empty(0, dtype=np.int64)
+    return np.flatnonzero(np.concatenate(([True], sorted_keys[1:] != sorted_keys[:-1])))
+
+
+def scan_cost_rows(
+    row_ids: np.ndarray,
+    positions: np.ndarray,
+    n_rows: int,
+    space_length: int,
+    config: Optional[ScannerConfig] = None,
+    bittree: bool = False,
+) -> ScanCost:
+    """Aggregate scanner cost of one scan per row, computed in one pass.
+
+    Equivalent to merging ``scan_cost_single(positions of row r, space_length)``
+    over every row ``r`` in ``[0, n_rows)`` -- including rows with no
+    positions, which still stream their (empty) occupancy chunks. Positions
+    must be unique within each row (the callers scan union/occupancy sets).
+
+    Args:
+        row_ids: Row id per position (values in ``[0, n_rows)``).
+        positions: Set-bit position per entry (values in ``[0, space_length)``).
+        n_rows: Number of scans performed (one per row).
+        space_length: Logical length of each scanned space.
+        config: Scanner configuration (defaults to 256-in / 16-out).
+        bittree: Use the two-level bit-tree traversal per row.
+    """
+    config = config or ScannerConfig()
+    rows = np.asarray(row_ids, dtype=np.int64)
+    pos = np.asarray(positions, dtype=np.int64)
+    if rows.size != pos.size:
+        raise SimulationError("row_ids and positions must have matching length")
+    if n_rows < 0 or space_length < 0:
+        raise SimulationError("n_rows and space_length must be non-negative")
+    if pos.size and (pos.min() < 0 or pos.max() >= space_length):
+        raise SimulationError("scan index outside the scanned space")
+    if rows.size and (rows.min() < 0 or rows.max() >= n_rows):
+        raise SimulationError("row id outside [0, n_rows)")
+    if space_length == 0:
+        return _ZERO
+    if not bittree:
+        return _flat_rows_cost(rows, pos, n_rows, space_length, config)
+    return _bittree_rows_cost(rows, pos, n_rows, space_length, config)
+
+
+def _occupied_chunk_cost(chunk_keys: np.ndarray, out: int) -> Tuple[int, int]:
+    """(sum of ceil(count/out) over runs, number of runs) of sorted keys."""
+    if chunk_keys.size == 0:
+        return 0, 0
+    starts = _group_starts(chunk_keys)
+    counts = np.diff(np.concatenate((starts, [chunk_keys.size])))
+    return int(((counts + out - 1) // out).sum()), int(starts.size)
+
+
+def _flat_rows_cost(
+    rows: np.ndarray, pos: np.ndarray, n_rows: int, space_length: int, config: ScannerConfig
+) -> ScanCost:
+    """Batch equivalent of per-row :func:`_chunk_cycles`."""
+    width = config.bit_width
+    out = config.output_vectorization
+    chunks_per_row = (space_length + width - 1) // width
+    keys = np.sort(rows * chunks_per_row + pos // width)
+    occupied_cycles, occupied_chunks = _occupied_chunk_cost(keys, out)
+    empty = n_rows * chunks_per_row - occupied_chunks
+    return ScanCost(
+        cycles=occupied_cycles + empty,
+        empty_cycles=empty,
+        elements=int(pos.size),
+        chunks=n_rows * chunks_per_row,
+    )
+
+
+def _bittree_rows_cost(
+    rows: np.ndarray, pos: np.ndarray, n_rows: int, space_length: int, config: ScannerConfig
+) -> ScanCost:
+    """Batch equivalent of per-row :func:`_bittree_cost`."""
+    out = config.output_vectorization
+    tiles_per_row = (space_length + BITTREE_TILE_BITS - 1) // BITTREE_TILE_BITS
+    chunks_per_tile = (BITTREE_TILE_BITS + config.bit_width - 1) // config.bit_width
+    # Second level: per-(row, tile) position counts; each occupied tile is
+    # streamed densely, costing max(chunks_per_tile, ceil(count/out)).
+    tile_keys = np.sort(rows * tiles_per_row + pos // BITTREE_TILE_BITS)
+    starts = _group_starts(tile_keys)
+    counts = np.diff(np.concatenate((starts, [tile_keys.size])))
+    tile_cycles = int(np.maximum(chunks_per_tile, (counts + out - 1) // out).sum())
+    occupied_tiles = int(starts.size)
+    # Top level: each row scans its tile-occupancy vector of tiles_per_row
+    # bits; the distinct (row, tile) runs above are exactly its set bits.
+    distinct_tiles = tile_keys[starts] if starts.size else tile_keys
+    top = _flat_rows_cost(
+        distinct_tiles // tiles_per_row,
+        distinct_tiles % tiles_per_row,
+        n_rows,
+        tiles_per_row,
+        config,
+    )
+    return ScanCost(
+        cycles=top.cycles + tile_cycles,
+        empty_cycles=top.empty_cycles,
+        elements=int(pos.size),
+        chunks=top.chunks + occupied_tiles * chunks_per_tile,
+    )
+
+
+def scan_cost_growing_unions(
+    row_ids: np.ndarray,
+    positions: np.ndarray,
+    first_steps: np.ndarray,
+    steps_per_row: np.ndarray,
+    space_length: int,
+    config: Optional[ScannerConfig] = None,
+) -> ScanCost:
+    """Aggregate cost of scanning a per-row *growing* union once per step.
+
+    Models the SpMSpM inner loop: within each row, step ``t`` unions a new
+    operand into the row's accumulated index set and streams the combined
+    occupancy, so step ``t`` scans ``U_t = U_{t-1} | operand_t``. Given, for
+    every element of the final union ``U_k``, the first step at which it
+    entered (1-based), this computes -- without materializing any
+    intermediate union -- the exact merge of
+
+        ``scan_cost_pair(operand_t, U_{t-1}, space_length, UNION)``
+
+    over all steps of all rows, using the identity
+    ``ceil(c/out) = sum_j [c > out*j]``: within one occupancy chunk whose
+    sorted first-steps are ``s_0 <= s_1 <= ...``, the chunk's element count
+    at step ``t`` exceeds ``out*j`` exactly for the ``k - s[out*j] + 1``
+    steps ``t >= s[out*j]``.
+
+    Args:
+        row_ids: Row id per final-union element.
+        positions: Set-bit position per final-union element (unique per row).
+        first_steps: 1-based step at which each element entered its row's union.
+        steps_per_row: Number of union steps per row (length = number of rows).
+        space_length: Logical length of the scanned space.
+        config: Scanner configuration (defaults to 256-in / 16-out).
+    """
+    config = config or ScannerConfig()
+    rows = np.asarray(row_ids, dtype=np.int64)
+    pos = np.asarray(positions, dtype=np.int64)
+    first = np.asarray(first_steps, dtype=np.int64)
+    steps = np.asarray(steps_per_row, dtype=np.int64)
+    if not (rows.size == pos.size == first.size):
+        raise SimulationError("row_ids, positions, and first_steps must match in length")
+    if space_length <= 0:
+        return _ZERO
+    total_steps = int(steps.sum())
+    if total_steps == 0:
+        return _ZERO
+    width = config.bit_width
+    out = config.output_vectorization
+    chunks_per_row = (space_length + width - 1) // width
+
+    if rows.size == 0:
+        # Steps with nothing ever unioned cannot occur (each step unions a
+        # non-empty operand), but guard the degenerate call anyway.
+        empty = total_steps * chunks_per_row
+        return ScanCost(
+            cycles=empty, empty_cycles=empty, elements=0, chunks=empty
+        )
+
+    k_per_element = steps[rows]  # steps executed by each element's row
+    # Sort by (row, chunk) group, then by first step within the group.
+    group = rows * chunks_per_row + pos // width
+    order = np.lexsort((first, group))
+    group_sorted = group[order]
+    first_sorted = first[order]
+    k_sorted = k_per_element[order]
+    starts = _group_starts(group_sorted)
+    sizes = np.diff(np.concatenate((starts, [group_sorted.size])))
+    # Rank of each element within its (row, chunk) group.
+    rank = np.arange(group_sorted.size) - np.repeat(starts, sizes)
+    # ceil-sum part: elements at ranks 0, out, 2*out, ... each open one more
+    # output beat for the k - s + 1 steps from their arrival on.
+    threshold = rank % out == 0
+    occupied_cycles = int((k_sorted[threshold] - first_sorted[threshold] + 1).sum())
+    # Chunks are empty before their first element arrives (1 cycle each).
+    chunk_occupied_steps = int((k_sorted[starts] - first_sorted[starts] + 1).sum())
+    empty = total_steps * chunks_per_row - chunk_occupied_steps
+    # Every step emits its full running union.
+    elements = int((k_per_element - first + 1).sum())
+    return ScanCost(
+        cycles=occupied_cycles + empty,
+        empty_cycles=empty,
+        elements=elements,
+        chunks=total_steps * chunks_per_row,
     )
 
 

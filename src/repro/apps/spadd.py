@@ -19,10 +19,16 @@ from ..errors import WorkloadError
 from ..formats.csr import CSRMatrix
 from ..formats.convert import to_csr
 from ..runtime.registry import RunContext, register_app
+from .common import (
+    BACKEND_REFERENCE,
+    AppRun,
+    check_backend,
+    tile_rows_by_nnz,
+    tile_work_from_partition,
+)
 from ..workloads import LINEAR_ALGEBRA_DATASET_NAMES, load_dataset
-from .common import AppRun, tile_rows_by_nnz, tile_work_from_partition
-from .profile import WorkloadProfile, vector_slots_for
-from .scan_model import scan_cost_pair, zero_cost
+from .profile import WorkloadProfile, vector_slots_batch, vector_slots_for
+from .scan_model import scan_cost_pair, scan_cost_rows, zero_cost
 from .spmv import DEFAULT_OUTER_PARALLELISM, _pointer_compression
 
 
@@ -32,6 +38,7 @@ def sparse_add(
     dataset: str = "synthetic",
     outer_parallelism: int = DEFAULT_OUTER_PARALLELISM,
     use_bittree: bool = True,
+    backend: str = "vectorized",
 ) -> AppRun:
     """Compute ``C = A + B`` with row-wise sparse-sparse union iteration.
 
@@ -42,15 +49,81 @@ def sparse_add(
         outer_parallelism: CU/SpMU pairs rows are spread across.
         use_bittree: Use bit-tree scanning (the paper's choice for these
             very sparse matrices); ``False`` scans flat bit-vectors.
+        backend: ``"vectorized"`` (batch kernels) or ``"reference"`` (loops).
 
     Returns:
-        An :class:`AppRun` whose output is the dense sum (for validation);
-        the profile captures the sparse-iteration work.
+        An :class:`AppRun` whose output is the sum in CSR form (dense
+        materialization of the published full-size operands would not
+        fit in memory); the profile captures the sparse-iteration work.
     """
+    check_backend(backend)
     if matrix_a.shape != matrix_b.shape:
         raise WorkloadError("operands must have the same shape")
     rows, cols = matrix_a.shape
+    a_cols, b_cols = matrix_a.col_indices, matrix_b.col_indices
 
+    if backend == BACKEND_REFERENCE:
+        output, union_row_sizes, scan_total, output_nnz = _add_reference(
+            matrix_a, matrix_b, use_bittree
+        )
+        union_iterations = int(sum(union_row_sizes))
+        vector_slots = vector_slots_for(list(union_row_sizes))
+    else:
+        # The union of the two row structures is exactly the structure of
+        # A + B; one global (row, col) dedup yields every per-row union.
+        row_ids = np.concatenate(
+            (
+                np.repeat(np.arange(rows, dtype=np.int64), matrix_a.row_lengths()),
+                np.repeat(np.arange(rows, dtype=np.int64), matrix_b.row_lengths()),
+            )
+        )
+        keys = row_ids * cols + np.concatenate((a_cols, b_cols))
+        union_keys, inverse = np.unique(keys, return_inverse=True)
+        summed = np.bincount(
+            inverse,
+            weights=np.concatenate((matrix_a.values, matrix_b.values)),
+            minlength=union_keys.size,
+        )
+        union_rows = union_keys // cols
+        union_cols = union_keys % cols
+        union_row_sizes = np.bincount(union_rows, minlength=rows)
+        scan_total = scan_cost_rows(
+            union_rows, union_cols, rows, cols, bittree=use_bittree
+        )
+        row_pointers = np.zeros(rows + 1, dtype=np.int64)
+        row_pointers[1:] = np.cumsum(union_row_sizes)
+        output = CSRMatrix((rows, cols), row_pointers, union_cols, summed)
+        output_nnz = int(union_keys.size)
+        union_iterations = int(union_row_sizes.sum())
+        vector_slots = vector_slots_batch(union_row_sizes)
+
+    partitioning = tile_rows_by_nnz(matrix_a, outer_parallelism)
+    profile = WorkloadProfile(
+        app="spadd",
+        dataset=dataset,
+        compute_iterations=union_iterations,
+        vector_slots=vector_slots,
+        scan_cycles=scan_total.cycles,
+        scan_empty_cycles=scan_total.empty_cycles,
+        scan_elements=scan_total.elements,
+        sram_random_reads=matrix_a.nnz + matrix_b.nnz,
+        sram_random_updates=output_nnz,
+        dram_stream_read_bytes=4.0 * 2 * (matrix_a.nnz + matrix_b.nnz + rows + 1),
+        dram_stream_write_bytes=4.0 * (2 * output_nnz + rows + 1),
+        pointer_stream_bytes=4.0 * (matrix_a.nnz + matrix_b.nnz),
+        pointer_compression_ratio=_pointer_compression(np.concatenate([a_cols, b_cols])),
+        tile_work=tile_work_from_partition(partitioning),
+        cross_tile_request_fraction=0.0,  # rows are processed entirely locally
+        pipelinable=True,
+        outer_parallelism=outer_parallelism,
+        extra={"output_nnz": float(output_nnz), "union_iterations": float(union_iterations)},
+    )
+    return AppRun(output=output, profile=profile)
+
+
+def _add_reference(matrix_a: CSRMatrix, matrix_b: CSRMatrix, use_bittree: bool):
+    """The original per-row union loop (reference profiling backend)."""
+    rows, cols = matrix_a.shape
     result_rows = []
     result_cols = []
     result_vals = []
@@ -80,33 +153,15 @@ def sparse_add(
         result_cols.extend(union.tolist())
         result_vals.extend(row_values.tolist())
 
-    output = np.zeros((rows, cols), dtype=np.float64)
-    if result_rows:
-        output[np.asarray(result_rows), np.asarray(result_cols)] = np.asarray(result_vals)
-
-    output_nnz = len(result_vals)
-    partitioning = tile_rows_by_nnz(matrix_a, outer_parallelism)
-    profile = WorkloadProfile(
-        app="spadd",
-        dataset=dataset,
-        compute_iterations=sum(union_sizes),
-        vector_slots=vector_slots_for(union_sizes),
-        scan_cycles=scan_total.cycles,
-        scan_empty_cycles=scan_total.empty_cycles,
-        scan_elements=scan_total.elements,
-        sram_random_reads=matrix_a.nnz + matrix_b.nnz,
-        sram_random_updates=output_nnz,
-        dram_stream_read_bytes=4.0 * 2 * (matrix_a.nnz + matrix_b.nnz + rows + 1),
-        dram_stream_write_bytes=4.0 * (2 * output_nnz + rows + 1),
-        pointer_stream_bytes=4.0 * (matrix_a.nnz + matrix_b.nnz),
-        pointer_compression_ratio=_pointer_compression(np.concatenate([a_cols, b_cols])),
-        tile_work=tile_work_from_partition(partitioning),
-        cross_tile_request_fraction=0.0,  # rows are processed entirely locally
-        pipelinable=True,
-        outer_parallelism=outer_parallelism,
-        extra={"output_nnz": float(output_nnz), "union_iterations": float(sum(union_sizes))},
+    row_pointers = np.zeros(rows + 1, dtype=np.int64)
+    row_pointers[1:] = np.cumsum(np.asarray(union_sizes, dtype=np.int64))
+    output = CSRMatrix(
+        (rows, cols),
+        row_pointers,
+        np.asarray(result_cols, dtype=np.int64),
+        np.asarray(result_vals, dtype=np.float64),
     )
-    return AppRun(output=output, profile=profile)
+    return output, union_sizes, scan_total, len(result_vals)
 
 
 def reference_add(matrix_a: CSRMatrix, matrix_b: CSRMatrix) -> np.ndarray:

@@ -25,9 +25,22 @@ from ..formats.csr import CSRMatrix
 from ..formats.convert import to_csr
 from ..runtime.registry import RunContext, register_app
 from ..workloads import SPMSPM_DATASET_NAMES, load_dataset
-from .common import AppRun, tile_rows_by_nnz, tile_work_from_partition
-from .profile import WorkloadProfile, vector_slots_for
-from .scan_model import scan_cost_pair, scan_cost_single, zero_cost
+from .common import (
+    BACKEND_REFERENCE,
+    AppRun,
+    check_backend,
+    expand_slices,
+    tile_rows_by_nnz,
+    tile_work_from_partition,
+)
+from .profile import WorkloadProfile, vector_slots_batch, vector_slots_for
+from .scan_model import (
+    scan_cost_growing_unions,
+    scan_cost_pair,
+    scan_cost_rows,
+    scan_cost_single,
+    zero_cost,
+)
 from .spmv import DEFAULT_OUTER_PARALLELISM, _pointer_compression
 
 
@@ -36,14 +49,63 @@ def spmspm(
     matrix_b: CSRMatrix,
     dataset: str = "synthetic",
     outer_parallelism: int = DEFAULT_OUTER_PARALLELISM,
+    backend: str = "vectorized",
 ) -> AppRun:
     """Compute ``C = A @ B`` with Gustavson's row-product algorithm.
 
     Returns an :class:`AppRun` whose output is the dense product (for
     validation against ``A.to_dense() @ B.to_dense()``).
     """
+    check_backend(backend)
     if matrix_a.shape[1] != matrix_b.shape[0]:
         raise WorkloadError("inner dimensions must agree")
+    if backend == BACKEND_REFERENCE:
+        state = _spmspm_reference(matrix_a, matrix_b)
+    else:
+        state = _spmspm_vectorized(matrix_a, matrix_b)
+    (
+        output,
+        scan_total,
+        multiplies,
+        bitset_updates,
+        accumulator_updates,
+        output_nnz,
+        b_rows_fetched,
+        b_row_bytes,
+        vector_slots,
+    ) = state
+    rows_out = matrix_a.shape[0]
+
+    partitioning = tile_rows_by_nnz(matrix_a, outer_parallelism)
+    profile = WorkloadProfile(
+        app="spmspm",
+        dataset=dataset,
+        compute_iterations=multiplies,
+        vector_slots=vector_slots,
+        scan_cycles=scan_total.cycles,
+        scan_empty_cycles=scan_total.empty_cycles,
+        scan_elements=scan_total.elements,
+        sram_random_reads=matrix_a.nnz,
+        sram_random_updates=bitset_updates + accumulator_updates,
+        dram_stream_read_bytes=4.0 * (2 * matrix_a.nnz + rows_out + 1) + b_row_bytes,
+        dram_stream_write_bytes=4.0 * (2 * output_nnz + rows_out + 1),
+        pointer_stream_bytes=4.0 * (matrix_a.nnz + b_rows_fetched),
+        pointer_compression_ratio=_pointer_compression(matrix_b.col_indices),
+        tile_work=tile_work_from_partition(partitioning),
+        cross_tile_request_fraction=0.0,  # each output row is produced locally
+        pipelinable=True,
+        outer_parallelism=outer_parallelism,
+        extra={
+            "multiplies": float(multiplies),
+            "output_nnz": float(output_nnz),
+            "b_rows_fetched": float(b_rows_fetched),
+        },
+    )
+    return AppRun(output=output, profile=profile)
+
+
+def _spmspm_reference(matrix_a: CSRMatrix, matrix_b: CSRMatrix):
+    """The original nested row-product loop (reference profiling backend)."""
     rows_out = matrix_a.shape[0]
     cols_out = matrix_b.shape[1]
     output = np.zeros((rows_out, cols_out), dtype=np.float64)
@@ -95,32 +157,109 @@ def spmspm(
         output[i, valid] = accumulator[valid]
         output_nnz += int(np.count_nonzero(valid))
 
-    partitioning = tile_rows_by_nnz(matrix_a, outer_parallelism)
-    profile = WorkloadProfile(
-        app="spmspm",
-        dataset=dataset,
-        compute_iterations=multiplies,
-        vector_slots=vector_slots_for(trip_counts),
-        scan_cycles=scan_total.cycles,
-        scan_empty_cycles=scan_total.empty_cycles,
-        scan_elements=scan_total.elements,
-        sram_random_reads=matrix_a.nnz,
-        sram_random_updates=bitset_updates + accumulator_updates,
-        dram_stream_read_bytes=4.0 * (2 * matrix_a.nnz + rows_out + 1) + b_row_bytes,
-        dram_stream_write_bytes=4.0 * (2 * output_nnz + rows_out + 1),
-        pointer_stream_bytes=4.0 * (matrix_a.nnz + b_rows_fetched),
-        pointer_compression_ratio=_pointer_compression(b_cols),
-        tile_work=tile_work_from_partition(partitioning),
-        cross_tile_request_fraction=0.0,  # each output row is produced locally
-        pipelinable=True,
-        outer_parallelism=outer_parallelism,
-        extra={
-            "multiplies": float(multiplies),
-            "output_nnz": float(output_nnz),
-            "b_rows_fetched": float(b_rows_fetched),
-        },
+    return (
+        output,
+        scan_total,
+        multiplies,
+        bitset_updates,
+        accumulator_updates,
+        output_nnz,
+        b_rows_fetched,
+        b_row_bytes,
+        vector_slots_for(trip_counts),
     )
-    return AppRun(output=output, profile=profile)
+
+
+def _spmspm_vectorized(matrix_a: CSRMatrix, matrix_b: CSRMatrix):
+    """Batch row-product profiling: one structural expansion, no row loop.
+
+    Expands every (A non-zero, B row entry) pair into flat arrays ordered
+    by (output row, inner step), from which the functional product, the
+    output structure, and all scan/update counters follow in single numpy
+    passes. The per-step union scans -- whose operand is the row's *growing*
+    index set -- are costed exactly by :func:`scan_cost_growing_unions`
+    using each output column's first step of appearance.
+    """
+    rows_out = matrix_a.shape[0]
+    cols_out = matrix_b.shape[1]
+    a_lengths = matrix_a.row_lengths()
+    b_lengths = matrix_b.row_lengths()
+
+    # Per A-non-zero: the fetched B row and its length (0 for empty rows).
+    fetch_lengths = b_lengths[matrix_a.col_indices]
+    multiplies = int(fetch_lengths.sum())
+    b_rows_fetched = int(matrix_a.nnz)
+    b_row_bytes = 8.0 * multiplies
+    # One inner-loop instance per fetch, plus a zero-trip instance per
+    # empty A row.
+    empty_a_rows = int(np.count_nonzero(a_lengths == 0))
+    vector_slots = empty_a_rows + vector_slots_batch(fetch_lengths)
+
+    # Union steps skip empty B rows; number steps 1..k within each A row.
+    a_row_of_nonzero = np.repeat(np.arange(rows_out, dtype=np.int64), a_lengths)
+    step_mask = fetch_lengths > 0
+    step_rows = a_row_of_nonzero[step_mask]
+    steps_per_row = np.bincount(step_rows, minlength=rows_out)
+    step_offsets = np.cumsum(steps_per_row) - steps_per_row
+    step_ids = (
+        np.arange(step_rows.size, dtype=np.int64) - step_offsets[step_rows] + 1
+    )
+
+    # Expand the fetched B rows: one entry per multiply, in (row, step) order.
+    flat, lengths = expand_slices(
+        matrix_b.row_pointers, matrix_a.col_indices[step_mask]
+    )
+    expanded_steps = np.repeat(step_ids, lengths)
+    expanded_values = matrix_b.values[flat] * np.repeat(
+        matrix_a.values[step_mask], lengths
+    )
+    # Dense (row, col) key per multiply, built from per-step row bases.
+    keys = np.repeat(step_rows * cols_out, lengths) + matrix_b.col_indices[flat]
+
+    # Output structure: distinct (row, col) pairs; their first step of
+    # appearance drives the growing-union scan cost. The key space is the
+    # output's dense index space -- already materialized as the dense output
+    # -- so dedup by dense scatter rather than by sorting the expansion:
+    # the expansion is ordered by (row, step), so assigning in reverse
+    # leaves each key's earliest step in place, and a non-zero first step
+    # marks an occupied key.
+    key_space = rows_out * cols_out
+    first_by_key = np.zeros(key_space, dtype=np.int64)
+    first_by_key[keys[::-1]] = expanded_steps[::-1]
+    union_keys = np.flatnonzero(first_by_key)
+    union_rows = union_keys // cols_out
+    union_cols = union_keys % cols_out
+    first_steps = first_by_key[union_keys]
+    output_nnz = int(union_keys.size)
+
+    scan_total = scan_cost_growing_unions(
+        union_rows, union_cols, first_steps, steps_per_row, cols_out
+    )
+    # Step 3c readback: every non-empty A row scans its final union (which
+    # is empty when all its fetched B rows were empty).
+    nonempty_a = np.flatnonzero(a_lengths > 0)
+    row_remap = np.zeros(rows_out, dtype=np.int64)
+    row_remap[nonempty_a] = np.arange(nonempty_a.size)
+    scan_total = scan_total.merge(
+        scan_cost_rows(row_remap[union_rows], union_cols, int(nonempty_a.size), cols_out)
+    )
+
+    # Functional product: accumulate duplicates per (row, col) in step order.
+    output = np.bincount(keys, weights=expanded_values, minlength=key_space).reshape(
+        rows_out, cols_out
+    )
+
+    return (
+        output,
+        scan_total,
+        multiplies,
+        multiplies,  # bitset updates: one per accumulated element
+        multiplies,  # accumulator updates likewise
+        output_nnz,
+        b_rows_fetched,
+        b_row_bytes,
+        vector_slots,
+    )
 
 
 def reference_spmspm(matrix_a: CSRMatrix, matrix_b: CSRMatrix) -> np.ndarray:

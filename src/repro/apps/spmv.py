@@ -14,16 +14,17 @@ exercises a different sparse-iteration behaviour:
   over the selected columns, random atomic updates of the output.
 
 Each variant runs functionally (validated against ``scipy``) and produces a
-:class:`~repro.apps.profile.WorkloadProfile`.
+:class:`~repro.apps.profile.WorkloadProfile`. Every variant offers two
+profiling backends: the default ``vectorized`` backend computes the
+counters analytically from the sparse-structure arrays in single numpy
+passes, while ``reference`` keeps the original per-element loops; both
+produce identical profiles (asserted by the backend-equivalence tests).
 """
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
-from ..core.scanner import ScanMode
 from ..errors import WorkloadError
 from ..formats.convert import to_csc, to_csr
 from ..formats.coo import COOMatrix
@@ -31,13 +32,32 @@ from ..formats.csc import CSCMatrix
 from ..formats.csr import CSRMatrix
 from ..runtime.registry import RunContext, register_app
 from ..workloads import LINEAR_ALGEBRA_DATASET_NAMES, load_dataset, sparse_vector
-from .common import AppRun, cross_tile_fraction_rows, tile_rows_by_nnz, tile_work_from_partition
-from .profile import WorkloadProfile, vector_slots_for
-from .scan_model import data_scan_cost, scan_cost_single
+from .common import (
+    BACKEND_REFERENCE,
+    AppRun,
+    check_backend,
+    cross_tile_fraction_rows,
+    cross_tile_fraction_rows_batch,
+    expand_slices,
+    tile_rows_by_nnz,
+    tile_work_from_partition,
+)
+from .profile import WorkloadProfile, vector_slots_batch, vector_slots_for
+from .scan_model import scan_cost_single
 
 #: Default outer parallelism: the paper maps applications across the grid's
 #: CU/SpMU pairs; 16 outer-parallel pipelines is the common mapping.
 DEFAULT_OUTER_PARALLELISM = 16
+
+
+def _csr_matvec(matrix: CSRMatrix, vector: np.ndarray) -> np.ndarray:
+    """Vectorized CSR ``M @ v`` (segment sums over the stored entries)."""
+    rows = matrix.shape[0]
+    if not matrix.nnz:
+        return np.zeros(rows, dtype=np.float64)
+    row_ids = np.repeat(np.arange(rows, dtype=np.int64), matrix.row_lengths())
+    products = matrix.values * vector[matrix.col_indices]
+    return np.bincount(row_ids, weights=products, minlength=rows)
 
 
 def spmv_csr(
@@ -45,6 +65,7 @@ def spmv_csr(
     vector: np.ndarray,
     dataset: str = "synthetic",
     outer_parallelism: int = DEFAULT_OUTER_PARALLELISM,
+    backend: str = "vectorized",
 ) -> AppRun:
     """CSR SpMV: ``out[r] = sum_c M[r][c] * v[c]``.
 
@@ -53,30 +74,38 @@ def spmv_csr(
         vector: Dense input vector of length ``matrix.shape[1]``.
         dataset: Dataset label recorded in the profile.
         outer_parallelism: CU/SpMU pairs the mapping spreads rows across.
+        backend: ``"vectorized"`` (batch kernels) or ``"reference"`` (loops).
     """
+    check_backend(backend)
     vector = np.asarray(vector, dtype=np.float64)
     if vector.shape != (matrix.shape[1],):
         raise WorkloadError("vector length must match matrix columns")
     rows = matrix.shape[0]
-    output = np.zeros(rows, dtype=np.float64)
     row_lengths = matrix.row_lengths()
-    row_pointers = matrix.row_pointers
     col_indices = matrix.col_indices
-    values = matrix.values
-
-    for row in range(rows):
-        start, end = row_pointers[row], row_pointers[row + 1]
-        cols = col_indices[start:end]
-        output[row] = float(np.dot(values[start:end], vector[cols]))
-
     partitioning = tile_rows_by_nnz(matrix, outer_parallelism)
-    cross_fraction = cross_tile_fraction_rows(matrix, partitioning)
+
+    if backend == BACKEND_REFERENCE:
+        output = np.zeros(rows, dtype=np.float64)
+        row_pointers = matrix.row_pointers
+        values = matrix.values
+        for row in range(rows):
+            start, end = row_pointers[row], row_pointers[row + 1]
+            cols = col_indices[start:end]
+            output[row] = float(np.dot(values[start:end], vector[cols]))
+        vector_slots = vector_slots_for(row_lengths.tolist())
+        cross_fraction = cross_tile_fraction_rows(matrix, partitioning)
+    else:
+        output = _csr_matvec(matrix, vector)
+        vector_slots = vector_slots_batch(row_lengths)
+        cross_fraction = cross_tile_fraction_rows_batch(matrix, partitioning)
+
     nnz = matrix.nnz
     profile = WorkloadProfile(
         app="spmv-csr",
         dataset=dataset,
         compute_iterations=nnz,
-        vector_slots=vector_slots_for(row_lengths.tolist()),
+        vector_slots=vector_slots,
         sram_random_reads=nnz,  # one input-vector gather per stored entry
         sram_random_updates=0,
         dram_stream_read_bytes=4.0 * (nnz * 2 + rows + 1 + vector.size),
@@ -97,8 +126,14 @@ def spmv_coo(
     vector: np.ndarray,
     dataset: str = "synthetic",
     outer_parallelism: int = DEFAULT_OUTER_PARALLELISM,
+    backend: str = "vectorized",
 ) -> AppRun:
-    """COO SpMV: iterate stored values, atomically accumulate the output."""
+    """COO SpMV: iterate stored values, atomically accumulate the output.
+
+    The COO kernel's counters were always computed analytically from the
+    triplet arrays, so both backends share one implementation.
+    """
+    check_backend(backend)
     vector = np.asarray(vector, dtype=np.float64)
     if vector.shape != (matrix.shape[1],):
         raise WorkloadError("vector length must match matrix columns")
@@ -142,45 +177,62 @@ def spmv_csc(
     vector: np.ndarray,
     dataset: str = "synthetic",
     outer_parallelism: int = DEFAULT_OUTER_PARALLELISM,
+    backend: str = "vectorized",
 ) -> AppRun:
     """CSC SpMV: skip columns whose input element is zero (sparse input).
 
     The input vector is expected to be sparse (the paper uses 30% density);
     only the columns selected by its non-zeros are traversed.
     """
+    check_backend(backend)
     vector = np.asarray(vector, dtype=np.float64)
     if vector.shape != (matrix.shape[1],):
         raise WorkloadError("vector length must match matrix columns")
-    output = np.zeros(matrix.shape[0], dtype=np.float64)
     nonzero_inputs = np.nonzero(vector)[0]
     col_lengths = matrix.col_lengths()
-    touched_nnz = 0
-    trip_counts = []
-    for col in nonzero_inputs.tolist():
-        rows_in_col, col_values = matrix.col_slice(col)
-        np.add.at(output, rows_in_col, col_values * vector[col])
-        touched_nnz += rows_in_col.size
-        trip_counts.append(int(rows_in_col.size))
-
-    scan = scan_cost_single(nonzero_inputs, vector.size)
     tiles = outer_parallelism
-    work = np.zeros(tiles, dtype=np.float64)
-    for i, col in enumerate(nonzero_inputs.tolist()):
-        work[i % tiles] += max(1, col_lengths[col])
     rows_per_tile = max(1, matrix.shape[0] // tiles)
-    cross = 0
-    for i, col in enumerate(nonzero_inputs.tolist()):
-        rows_in_col, _ = matrix.col_slice(col)
-        cross += int(np.count_nonzero(
-            np.minimum(rows_in_col // rows_per_tile, tiles - 1) != (i % tiles)
-        ))
-    cross_fraction = cross / max(1, touched_nnz)
 
+    if backend == BACKEND_REFERENCE:
+        output = np.zeros(matrix.shape[0], dtype=np.float64)
+        touched_nnz = 0
+        trip_counts = []
+        for col in nonzero_inputs.tolist():
+            rows_in_col, col_values = matrix.col_slice(col)
+            np.add.at(output, rows_in_col, col_values * vector[col])
+            touched_nnz += rows_in_col.size
+            trip_counts.append(int(rows_in_col.size))
+        vector_slots = vector_slots_for(trip_counts)
+        work = np.zeros(tiles, dtype=np.float64)
+        for i, col in enumerate(nonzero_inputs.tolist()):
+            work[i % tiles] += max(1, col_lengths[col])
+        cross = 0
+        for i, col in enumerate(nonzero_inputs.tolist()):
+            rows_in_col, _ = matrix.col_slice(col)
+            cross += int(np.count_nonzero(
+                np.minimum(rows_in_col // rows_per_tile, tiles - 1) != (i % tiles)
+            ))
+    else:
+        flat, lengths = expand_slices(matrix.col_pointers, nonzero_inputs)
+        touched_rows = matrix.row_indices[flat]
+        scaled = matrix.values[flat] * np.repeat(vector[nonzero_inputs], lengths)
+        output = np.bincount(touched_rows, weights=scaled, minlength=matrix.shape[0])
+        touched_nnz = int(lengths.sum())
+        vector_slots = vector_slots_batch(lengths)
+        issuing_tile = np.arange(nonzero_inputs.size, dtype=np.int64) % tiles
+        work = np.bincount(
+            issuing_tile, weights=np.maximum(1, lengths), minlength=tiles
+        ).astype(np.float64)
+        owner = np.minimum(touched_rows // rows_per_tile, tiles - 1)
+        cross = int(np.count_nonzero(owner != np.repeat(issuing_tile, lengths)))
+
+    cross_fraction = cross / max(1, touched_nnz)
+    scan = scan_cost_single(nonzero_inputs, vector.size)
     profile = WorkloadProfile(
         app="spmv-csc",
         dataset=dataset,
         compute_iterations=touched_nnz,
-        vector_slots=vector_slots_for(trip_counts),
+        vector_slots=vector_slots,
         scan_cycles=scan.cycles,
         scan_empty_cycles=scan.empty_cycles,
         scan_elements=scan.elements,
@@ -209,15 +261,16 @@ def _pointer_compression(pointers: np.ndarray) -> float:
     """Base/offset compression ratio of a pointer stream (sampled).
 
     Uses the first 64K pointers to bound the cost on large inputs; the
-    ratio converges quickly because packets are only 16 words long.
+    ratio converges quickly because packets are only 16 words long. Both
+    profiling backends share this helper (the report-only reduction is
+    bit-identical to encoding the packets and measuring them).
     """
-    from ..core.compression import compress_pointer_array
+    from ..core.compression import compression_report
 
     sample = np.asarray(pointers, dtype=np.int64)[:65536]
     if sample.size == 0:
         return 1.0
-    _, report = compress_pointer_array(sample)
-    return max(1.0, report.ratio)
+    return max(1.0, compression_report(sample).ratio)
 
 
 # --------------------------------------------------------------------------- #

@@ -13,6 +13,13 @@ The distance update must be *address ordered*: two relaxations of the same
 vertex in one round must not be reordered arbitrarily, which is why SSSP is
 one of the paper's motivating cases for the ADDRESS_ORDERED SpMU mode.
 Like BFS, rounds cannot be pipelined.
+
+Candidate distances within a round are computed from the round's *starting*
+distances (Bellman-Ford / Jacobi semantics): a frontier vertex improved
+mid-round re-enters the next frontier rather than re-relaxing immediately.
+This makes every round a pure function of the round's input state, so the
+reference loop and the vectorized kernels walk identical rounds and produce
+identical profiles -- the property the backend-equivalence suite asserts.
 """
 
 from __future__ import annotations
@@ -25,8 +32,8 @@ from ..formats.coo import COOMatrix
 from ..formats.csr import CSRMatrix
 from ..runtime.registry import RunContext, register_app
 from ..workloads import GRAPH_DATASET_NAMES, load_dataset
-from .common import AppRun, best_source
-from .profile import WorkloadProfile, vector_slots_for
+from .common import BACKEND_REFERENCE, AppRun, best_source, check_backend, expand_slices
+from .profile import WorkloadProfile, vector_slots_batch, vector_slots_for
 from .scan_model import scan_cost_single, zero_cost
 from .spmv import DEFAULT_OUTER_PARALLELISM, _pointer_compression
 
@@ -38,6 +45,7 @@ def sssp(
     outer_parallelism: int = DEFAULT_OUTER_PARALLELISM,
     write_backpointers: bool = True,
     max_rounds: int = 10_000,
+    backend: str = "vectorized",
 ) -> AppRun:
     """Frontier-based SSSP (Bellman-Ford style) from ``source``.
 
@@ -49,11 +57,13 @@ def sssp(
         write_backpointers: Whether to maintain parent pointers (disabled
             for the Graphicionado comparison).
         max_rounds: Safety bound on relaxation rounds.
+        backend: ``"vectorized"`` (batch kernels) or ``"reference"`` (loops).
 
     Returns:
         An :class:`AppRun` whose output is the distance array (``inf`` for
         unreachable vertices).
     """
+    check_backend(backend)
     n = adjacency.shape[0]
     if not 0 <= source < n:
         raise WorkloadError("source vertex out of range")
@@ -73,8 +83,8 @@ def sssp(
 
     rounds = 0
     relaxations = 0
+    vector_slots = 0
     frontier_scan = zero_cost()
-    trip_counts = []
     tiles = outer_parallelism
     tile_work = np.zeros(tiles, dtype=np.float64)
     cross_requests = 0
@@ -87,32 +97,71 @@ def sssp(
         frontier_vertices = np.nonzero(frontier)[0]
         frontier_scan = frontier_scan.merge(scan_cost_single(frontier_vertices, n))
         next_frontier = np.zeros(n, dtype=bool)
-        for slot, s in enumerate(frontier_vertices.tolist()):
-            start, end = row_pointers[s], row_pointers[s + 1]
-            neighbours = col_indices[start:end]
-            weights = values[start:end]
-            trip_counts.append(int(neighbours.size))
-            relaxations += int(neighbours.size)
-            tile_work[slot % tiles] += max(1, neighbours.size)
-            if not neighbours.size:
-                continue
+        snapshot = distance.copy()  # round-start distances (see module doc)
+        if backend == BACKEND_REFERENCE:
+            trip_counts = []
+            for slot, s in enumerate(frontier_vertices.tolist()):
+                start, end = row_pointers[s], row_pointers[s + 1]
+                neighbours = col_indices[start:end]
+                weights = values[start:end]
+                trip_counts.append(int(neighbours.size))
+                relaxations += int(neighbours.size)
+                tile_work[slot % tiles] += max(1, neighbours.size)
+                if not neighbours.size:
+                    continue
+                owner = np.minimum(neighbours // nodes_per_tile, tiles - 1)
+                cross_requests += int(np.count_nonzero(owner != (slot % tiles)))
+                candidate = snapshot[s] + weights
+                improved = candidate < distance[neighbours]
+                improved_vertices = neighbours[improved]
+                if improved_vertices.size:
+                    # Same-destination relaxations within a round must apply
+                    # the minimum; emulate the address-ordered RMW by
+                    # reducing first.
+                    order = np.argsort(candidate[improved], kind="stable")
+                    for idx in order.tolist():
+                        d = int(improved_vertices[idx])
+                        nd = float(candidate[improved][idx])
+                        if nd < distance[d]:
+                            distance[d] = nd
+                            if write_backpointers:
+                                parent[d] = s
+                            next_frontier[d] = True
+            vector_slots += vector_slots_for(trip_counts)
+        else:
+            flat, lengths = expand_slices(row_pointers, frontier_vertices)
+            neighbours = col_indices[flat]
+            vector_slots += vector_slots_batch(lengths)
+            relaxations += int(lengths.sum())
+            slots = np.arange(frontier_vertices.size, dtype=np.int64) % tiles
+            tile_work += np.bincount(
+                slots, weights=np.maximum(1, lengths), minlength=tiles
+            )
             owner = np.minimum(neighbours // nodes_per_tile, tiles - 1)
-            cross_requests += int(np.count_nonzero(owner != (slot % tiles)))
-            candidate = distance[s] + weights
-            improved = candidate < distance[neighbours]
-            improved_vertices = neighbours[improved]
-            if improved_vertices.size:
-                # Same-destination relaxations within a round must apply the
-                # minimum; emulate the address-ordered RMW by reducing first.
-                order = np.argsort(candidate[improved], kind="stable")
-                for idx in order.tolist():
-                    d = int(improved_vertices[idx])
-                    nd = float(candidate[improved][idx])
-                    if nd < distance[d]:
-                        distance[d] = nd
-                        if write_backpointers:
-                            parent[d] = s
-                        next_frontier[d] = True
+            cross_requests += int(
+                np.count_nonzero(owner != np.repeat(slots, lengths))
+            )
+            sources = np.repeat(frontier_vertices, lengths)
+            candidate = snapshot[sources] + values[flat]
+            # Address-ordered reduction per destination: the winning parent
+            # is the first edge (in visit order) achieving the round's
+            # minimum candidate, matching the reference's running strict min.
+            order = np.lexsort(
+                (np.arange(neighbours.size), candidate, neighbours)
+            )
+            dest_sorted = neighbours[order]
+            head = np.concatenate(
+                ([True], dest_sorted[1:] != dest_sorted[:-1])
+            ) if dest_sorted.size else np.empty(0, dtype=bool)
+            winners = order[head]
+            dests = neighbours[winners]
+            best = candidate[winners]
+            improved = best < distance[dests]
+            dests, best, winners = dests[improved], best[improved], winners[improved]
+            distance[dests] = best
+            if write_backpointers:
+                parent[dests] = sources[winners]
+            next_frontier[dests] = True
         frontier = next_frontier
 
     updates_per_edge = 3 if write_backpointers else 2
@@ -120,7 +169,7 @@ def sssp(
         app="sssp",
         dataset=dataset,
         compute_iterations=relaxations,
-        vector_slots=vector_slots_for(trip_counts),
+        vector_slots=vector_slots,
         scan_cycles=frontier_scan.cycles,
         scan_empty_cycles=frontier_scan.empty_cycles,
         scan_elements=frontier_scan.elements,

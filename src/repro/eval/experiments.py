@@ -64,6 +64,7 @@ def collect_profiles(
     conv_scale: float = 0.125,
     workers: Optional[int] = None,
     cache: Union[ProfileCache, bool, None] = True,
+    backend: str = "vectorized",
 ) -> ProfileSet:
     """Run the requested applications functionally and collect profiles.
 
@@ -77,9 +78,15 @@ def collect_profiles(
         cache: On-disk profile cache policy (``True`` uses the default
             cache, ``False`` disables it, or pass a
             :class:`~repro.runtime.cache.ProfileCache`).
+        backend: Profiling-kernel backend (``"vectorized"`` or the
+            per-element loop ``"reference"``); both produce identical
+            profiles.
     """
     context = RunContext(
-        scale=scale, pagerank_iterations=pagerank_iterations, conv_scale=conv_scale
+        scale=scale,
+        pagerank_iterations=pagerank_iterations,
+        conv_scale=conv_scale,
+        backend=backend,
     )
     runner = ExperimentRunner(context=context, workers=workers, cache=cache)
     report = runner.run(apps=apps)

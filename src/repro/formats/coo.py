@@ -93,6 +93,10 @@ class COOMatrix(SparseMatrixFormat):
         for r, c, v in zip(self._rows.tolist(), self._cols.tolist(), self._values.tolist()):
             yield r, c, v
 
+    def to_coo_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(rows, cols, values)`` arrays of all stored entries."""
+        return self._rows.copy(), self._cols.copy(), self._values.copy()
+
     def storage_bytes(self) -> int:
         """Bytes to store row pointers, column pointers, and values (32-bit)."""
         return 4 * 3 * self.nnz

@@ -76,16 +76,23 @@ class CSCMatrix(SparseMatrixFormat):
         values = np.asarray(values, dtype=np.float64)
         if not (rows.size == cols.size == values.size):
             raise FormatError("rows, cols, and values must have matching length")
-        order = np.lexsort((rows, cols))
-        rows, cols, values = rows[order], cols[order], values[order]
         if rows.size:
             keys = cols * shape[0] + rows
-            unique_keys, inverse = np.unique(keys, return_inverse=True)
-            summed = np.zeros(unique_keys.size, dtype=np.float64)
-            np.add.at(summed, inverse, values)
-            cols = (unique_keys // shape[0]).astype(np.int64)
-            rows = (unique_keys % shape[0]).astype(np.int64)
-            values = summed
+            # Canonical triplets (already (col, row)-sorted, duplicate-free)
+            # skip the sort-and-reduce entirely; copy so the matrix never
+            # aliases the caller's arrays.
+            if keys.size < 2 or np.all(keys[1:] > keys[:-1]):
+                rows, cols, values = rows.copy(), cols.copy(), values.copy()
+            else:
+                order = np.lexsort((rows, cols))
+                rows, cols, values = rows[order], cols[order], values[order]
+                keys = keys[order]
+                unique_keys, inverse = np.unique(keys, return_inverse=True)
+                summed = np.zeros(unique_keys.size, dtype=np.float64)
+                np.add.at(summed, inverse, values)
+                cols = (unique_keys // shape[0]).astype(np.int64)
+                rows = (unique_keys % shape[0]).astype(np.int64)
+                values = summed
         col_pointers = np.zeros(shape[1] + 1, dtype=np.int64)
         np.add.at(col_pointers, cols + 1, 1)
         col_pointers = np.cumsum(col_pointers)
@@ -147,6 +154,13 @@ class CSCMatrix(SparseMatrixFormat):
             for idx in range(start, end):
                 yield int(self._row_indices[idx]), col, float(self._values[idx])
 
+    def to_coo_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(rows, cols, values)`` arrays of all stored entries."""
+        cols = np.repeat(
+            np.arange(self._shape[1], dtype=np.int64), np.diff(self._col_pointers)
+        )
+        return self._row_indices.copy(), cols, self._values.copy()
+
     def storage_bytes(self) -> int:
         """Bytes to store pointers, indices, and values at 32 bits each."""
         return 4 * (self._col_pointers.size + self._row_indices.size + self._values.size)
@@ -159,10 +173,17 @@ class CSCMatrix(SparseMatrixFormat):
             raise FormatError(f"col {col} out of range for shape {self._shape}")
 
     def _check_sorted_cols(self) -> None:
-        for col in range(self._shape[1]):
-            start, end = self._col_pointers[col], self._col_pointers[col + 1]
-            segment = self._row_indices[start:end]
-            if segment.size > 1 and np.any(np.diff(segment) <= 0):
-                raise FormatError(
-                    f"column {col} row indices must be strictly increasing"
-                )
+        if self._row_indices.size < 2:
+            return
+        # Row indices must be strictly increasing within each column; a
+        # non-increasing adjacent pair is only legal exactly at a column start.
+        violations = self._row_indices[1:] <= self._row_indices[:-1]
+        boundaries = self._col_pointers[1:-1]
+        interior = boundaries[(boundaries > 0) & (boundaries < self._row_indices.size)]
+        violations[interior - 1] = False
+        bad = np.flatnonzero(violations)
+        if bad.size:
+            col = int(np.searchsorted(self._col_pointers, bad[0], side="right")) - 1
+            raise FormatError(
+                f"column {col} row indices must be strictly increasing"
+            )

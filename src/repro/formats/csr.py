@@ -75,17 +75,24 @@ class CSRMatrix(SparseMatrixFormat):
         values = np.asarray(values, dtype=np.float64)
         if not (rows.size == cols.size == values.size):
             raise FormatError("rows, cols, and values must have matching length")
-        # Sum duplicates by sorting on (row, col) and segment-reducing.
-        order = np.lexsort((cols, rows))
-        rows, cols, values = rows[order], cols[order], values[order]
         if rows.size:
             keys = rows * shape[1] + cols
-            unique_keys, inverse = np.unique(keys, return_inverse=True)
-            summed = np.zeros(unique_keys.size, dtype=np.float64)
-            np.add.at(summed, inverse, values)
-            rows = (unique_keys // shape[1]).astype(np.int64)
-            cols = (unique_keys % shape[1]).astype(np.int64)
-            values = summed
+            # Canonical triplets (already (row, col)-sorted, duplicate-free,
+            # e.g. from COOMatrix) skip the sort-and-reduce entirely; copy
+            # so the matrix never aliases the caller's arrays.
+            if keys.size < 2 or np.all(keys[1:] > keys[:-1]):
+                rows, cols, values = rows.copy(), cols.copy(), values.copy()
+            else:
+                # Sum duplicates by sorting on (row, col) and segment-reducing.
+                order = np.lexsort((cols, rows))
+                rows, cols, values = rows[order], cols[order], values[order]
+                keys = keys[order]
+                unique_keys, inverse = np.unique(keys, return_inverse=True)
+                summed = np.zeros(unique_keys.size, dtype=np.float64)
+                np.add.at(summed, inverse, values)
+                rows = (unique_keys // shape[1]).astype(np.int64)
+                cols = (unique_keys % shape[1]).astype(np.int64)
+                values = summed
         row_pointers = np.zeros(shape[0] + 1, dtype=np.int64)
         np.add.at(row_pointers, rows + 1, 1)
         row_pointers = np.cumsum(row_pointers)
@@ -147,6 +154,13 @@ class CSRMatrix(SparseMatrixFormat):
             for idx in range(start, end):
                 yield row, int(self._col_indices[idx]), float(self._values[idx])
 
+    def to_coo_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(rows, cols, values)`` arrays of all stored entries."""
+        rows = np.repeat(
+            np.arange(self._shape[0], dtype=np.int64), np.diff(self._row_pointers)
+        )
+        return rows, self._col_indices.copy(), self._values.copy()
+
     def transpose_to_csr(self) -> "CSRMatrix":
         """Return the transpose, also in CSR form."""
         rows, cols, values = self.to_coo_arrays()
@@ -164,10 +178,17 @@ class CSRMatrix(SparseMatrixFormat):
             raise FormatError(f"row {row} out of range for shape {self._shape}")
 
     def _check_sorted_rows(self) -> None:
-        for row in range(self._shape[0]):
-            start, end = self._row_pointers[row], self._row_pointers[row + 1]
-            segment = self._col_indices[start:end]
-            if segment.size > 1 and np.any(np.diff(segment) <= 0):
-                raise FormatError(
-                    f"row {row} column indices must be strictly increasing"
-                )
+        if self._col_indices.size < 2:
+            return
+        # Column indices must be strictly increasing within each row; a
+        # non-increasing adjacent pair is only legal exactly at a row start.
+        violations = self._col_indices[1:] <= self._col_indices[:-1]
+        boundaries = self._row_pointers[1:-1]
+        interior = boundaries[(boundaries > 0) & (boundaries < self._col_indices.size)]
+        violations[interior - 1] = False
+        bad = np.flatnonzero(violations)
+        if bad.size:
+            row = int(np.searchsorted(self._row_pointers, bad[0], side="right")) - 1
+            raise FormatError(
+                f"row {row} column indices must be strictly increasing"
+            )

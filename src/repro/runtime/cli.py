@@ -57,6 +57,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--conv-scale", type=_parse_scale, default=0.125, help="ResNet channel scale"
     )
     parser.add_argument(
+        "--backend",
+        choices=("vectorized", "reference"),
+        default="vectorized",
+        help="profiling-kernel backend (reference = per-element loop kernels)",
+    )
+    parser.add_argument(
         "-j", "--workers", type=int, default=None,
         help="process-pool size (default: $REPRO_EVAL_WORKERS or serial)",
     )
@@ -113,6 +119,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         scale=args.scale,
         pagerank_iterations=args.pagerank_iterations,
         conv_scale=args.conv_scale,
+        backend=args.backend,
     )
     runner = ExperimentRunner(
         context=context,

@@ -53,12 +53,17 @@ class RunContext:
         scanner: Optional scanner-configuration override; when set, the
             application is profiled as if the default scanner had this
             configuration (used by the Figure 6 sweep).
+        backend: Profiling-kernel backend every application runs with:
+            ``"vectorized"`` (default, batch numpy kernels) or
+            ``"reference"`` (the per-element loop implementations the
+            vectorized kernels are validated against).
     """
 
     scale: float = 1.0 / 64.0
     pagerank_iterations: int = 2
     conv_scale: float = 0.125
     scanner: Optional["ScannerConfig"] = None
+    backend: str = "vectorized"
 
     def fingerprint(self, fields: Optional[Tuple[str, ...]] = None) -> Dict[str, Any]:
         """A JSON-serializable dict identifying this context for caching.
@@ -67,12 +72,17 @@ class RunContext:
             fields: The parameter names to include (an application's
                 :attr:`AppSpec.context_fields`); ``None`` includes all of
                 them. A scanner override is always included -- it changes
-                every application's scan-cost profile.
+                every application's scan-cost profile -- and so is the
+                kernel backend: the two backends must produce identical
+                profiles, but cached entries still record which kernels
+                computed them so an equivalence regression can never be
+                masked (or caused) by a stale cache hit.
         """
         import dataclasses
 
         selected = CONTEXT_PARAMETERS if fields is None else fields
         material: Dict[str, Any] = {name: getattr(self, name) for name in selected}
+        material["backend"] = self.backend
         if self.scanner is not None:
             material["scanner"] = dataclasses.asdict(self.scanner)
         return material
@@ -107,13 +117,32 @@ class AppSpec:
     def execute(self, dataset: str, context: Optional[RunContext] = None) -> "WorkloadProfile":
         """Prepare inputs and run this application once on ``dataset``."""
         context = context or RunContext()
-        inputs = self.prepare(dataset, context)
+        inputs = dict(self.prepare(dataset, context))
+        if _accepts_backend(self.run):
+            inputs.setdefault("backend", context.backend)
         if context.scanner is None:
             result = self.run(**inputs)
         else:
             result = _run_with_scanner(self.run, inputs, context.scanner)
         profile = getattr(result, "profile", result)
         return profile
+
+
+def _accepts_backend(run: Callable[..., Any]) -> bool:
+    """Whether a run callable takes the ``backend`` keyword.
+
+    Every application in :mod:`repro.apps` does; ad-hoc callables registered
+    by tests or notebooks may not, and keep working without it.
+    """
+    import inspect
+
+    try:
+        parameters = inspect.signature(run).parameters
+    except (TypeError, ValueError):  # builtins / C callables
+        return False
+    if "backend" in parameters:
+        return True
+    return any(p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values())
 
 
 def _run_with_scanner(run: Callable[..., Any], inputs: Mapping[str, Any], scanner) -> Any:

@@ -10,8 +10,9 @@ reports feeds the Figure 7 "Imbalance" category.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Sequence
 
 import numpy as np
 
@@ -80,20 +81,25 @@ def balanced_partition(weights: Sequence[float], tiles: int) -> Partitioning:
 
     This is the Metis substitute for graph tiling with edge-count weights:
     it produces near-balanced tiles (typically within a few percent of the
-    optimum for heavy-tailed weight distributions).
+    optimum for heavy-tailed weight distributions). The lightest tile is
+    tracked in a heap keyed ``(total, tile)``, which selects the same tile
+    as an argmin over totals (lowest index among ties) at a fraction of
+    the cost.
     """
     weight_array = np.asarray(weights, dtype=np.float64)
     if tiles <= 0:
         raise WorkloadError("tiles must be positive")
     if np.any(weight_array < 0):
         raise WorkloadError("weights must be non-negative")
-    assignments = np.zeros(weight_array.size, dtype=np.int64)
-    totals = np.zeros(tiles, dtype=np.float64)
+    assignment_of = [0] * weight_array.size
     order = np.argsort(-weight_array, kind="stable")
+    heap = [(0.0, tile) for tile in range(tiles)]
+    item_weights = weight_array.tolist()
     for item in order.tolist():
-        tile = int(np.argmin(totals))
-        assignments[item] = tile
-        totals[tile] += weight_array[item]
+        total, tile = heapq.heappop(heap)
+        assignment_of[item] = tile
+        heapq.heappush(heap, (total + item_weights[item], tile))
+    assignments = np.asarray(assignment_of, dtype=np.int64)
     return Partitioning(assignments=assignments, tiles=tiles, weights=weight_array)
 
 

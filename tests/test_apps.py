@@ -178,7 +178,7 @@ class TestSparseAddAndSpMSpM:
     def test_add_matches_reference(self, small_pair):
         a, b = small_pair
         run = sparse_add(a, b)
-        assert np.allclose(run.output, reference_add(a, b))
+        assert np.allclose(run.output.to_dense(), reference_add(a, b))
 
     def test_add_union_iterations(self, small_pair):
         a, b = small_pair

@@ -13,9 +13,16 @@ from repro.errors import ConfigurationError
 from repro.eval.experiments import APP_DATASETS, APP_ORDER
 from repro.runtime import registry as registry_module
 from repro.runtime.cache import ProfileCache, profile_from_dict, profile_to_dict
+from repro.runtime import runner as runner_module
 from repro.runtime.registry import AppSpec, RegistryError, RunContext, register
-from repro.runtime.runner import ExperimentRunner
+from repro.runtime.runner import ExperimentRunner, pool_is_profitable
 from repro.runtime.sweep import sweep
+
+
+@pytest.fixture
+def multicore(monkeypatch):
+    """Pretend the machine has cores so worker pools are not elided."""
+    monkeypatch.setattr(runner_module.os, "cpu_count", lambda: 4)
 
 #: Expected Table 12 application order.
 EXPECTED_APPS = (
@@ -203,7 +210,7 @@ class TestProfileCache:
 class TestExperimentRunner:
     APPS = ["spmv-csr", "bfs"]
 
-    def test_serial_and_parallel_results_equivalent(self):
+    def test_serial_and_parallel_results_equivalent(self, multicore):
         context = RunContext(scale=TINY)
         serial = ExperimentRunner(context=context, workers=1, cache=False).run(apps=self.APPS)
         parallel = ExperimentRunner(context=context, workers=2, cache=False).run(apps=self.APPS)
@@ -248,7 +255,7 @@ class TestExperimentRunner:
             (app, dataset) for app in EXPECTED_APPS for dataset in APP_DATASETS[app]
         ]
 
-    def test_error_reporting_without_raise(self):
+    def test_error_reporting_without_raise(self, multicore):
         failing = AppSpec(
             name="always-fails",
             datasets=("ckt11752_dc_1", "Trefethen_20000"),
@@ -273,6 +280,81 @@ class TestExperimentRunner:
             assert "boom" in str(excinfo.value.__cause__)
         finally:
             registry_module._REGISTRY.pop("always-fails", None)
+
+    def test_pool_elided_on_single_core(self, monkeypatch):
+        monkeypatch.setattr(runner_module.os, "cpu_count", lambda: 1)
+
+        def forbidden(*args, **kwargs):
+            raise AssertionError("process pool used on a single-core machine")
+
+        monkeypatch.setattr(runner_module, "ProcessPoolExecutor", forbidden)
+        report = ExperimentRunner(
+            context=RunContext(scale=TINY), workers=4, cache=False
+        ).run(apps=["spmv-csr"])
+        assert report.executed_count() == len(report.results)
+
+    def test_pool_profitability_rules(self, monkeypatch):
+        monkeypatch.setattr(runner_module.os, "cpu_count", lambda: 8)
+        assert pool_is_profitable(4, 10)
+        assert not pool_is_profitable(1, 10)  # serial requested
+        assert not pool_is_profitable(4, 1)  # nothing to overlap
+        monkeypatch.setattr(runner_module.os, "cpu_count", lambda: 1)
+        assert not pool_is_profitable(4, 10)  # no cores to use
+        monkeypatch.setattr(runner_module.os, "cpu_count", lambda: None)
+        assert not pool_is_profitable(4, 10)  # unknown counts as one
+
+
+class TestBackendPlumbing:
+    def test_backend_threaded_to_run_callable(self):
+        seen = {}
+
+        def fake_run(backend="vectorized", **kwargs):
+            seen["backend"] = backend
+            return WorkloadProfile(app="probe", dataset="d")
+
+        probe = AppSpec(
+            name="backend-probe",
+            datasets=("d",),
+            prepare=lambda dataset, context: {},
+            run=fake_run,
+            order=9999,
+        )
+        register(probe)
+        try:
+            registry_module.execute(
+                "backend-probe", "d", RunContext(backend="reference")
+            )
+            assert seen["backend"] == "reference"
+        finally:
+            registry_module._REGISTRY.pop("backend-probe", None)
+
+    def test_backendless_run_callable_still_works(self):
+        probe = AppSpec(
+            name="no-backend-probe",
+            datasets=("d",),
+            prepare=lambda dataset, context: {},
+            run=lambda: WorkloadProfile(app="probe", dataset="d"),
+            order=9999,
+        )
+        register(probe)
+        try:
+            profile = registry_module.execute("no-backend-probe", "d", RunContext())
+            assert profile.app == "probe"
+        finally:
+            registry_module._REGISTRY.pop("no-backend-probe", None)
+
+    def test_cache_key_distinguishes_backends(self, tmp_path):
+        cache = ProfileCache(root=tmp_path)
+        vectorized = cache.key("bfs", "flickr", RunContext(backend="vectorized"))
+        reference = cache.key("bfs", "flickr", RunContext(backend="reference"))
+        assert vectorized != reference
+        # The backend is fingerprinted even for apps declaring no context
+        # fields (cached profiles always record which kernels produced them).
+        assert cache.key(
+            "spmspm", "qc324", RunContext(backend="vectorized"), context_fields=()
+        ) != cache.key(
+            "spmspm", "qc324", RunContext(backend="reference"), context_fields=()
+        )
 
 
 class TestSweep:

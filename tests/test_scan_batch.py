@@ -1,0 +1,170 @@
+"""Property tests for the batched (array-in, array-out) profiling helpers.
+
+Each batch helper must aggregate exactly what its per-element counterpart
+computes, across random COO-style inputs, random scanner configurations,
+and both flat and bit-tree traversals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.common import cross_tile_fraction_rows, cross_tile_fraction_rows_batch, expand_slices
+from repro.apps.profile import vector_slots_batch, vector_slots_for
+from repro.apps.scan_model import (
+    scan_cost_growing_unions,
+    scan_cost_pair,
+    scan_cost_rows,
+    scan_cost_single,
+    zero_cost,
+)
+from repro.config import ScannerConfig
+from repro.core.scanner import ScanMode
+from repro.errors import SimulationError
+from repro.formats import CSRMatrix
+from repro.workloads import balanced_partition
+
+
+def _random_config(rng) -> ScannerConfig:
+    return ScannerConfig(
+        bit_width=int(rng.choice([32, 64, 256, 512])),
+        output_vectorization=int(rng.choice([1, 4, 16])),
+    )
+
+
+class TestVectorSlotsBatch:
+    def test_matches_loop_on_random_trips(self):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            trips = rng.integers(0, 100, size=rng.integers(0, 50)).tolist()
+            assert vector_slots_batch(trips) == vector_slots_for(trips)
+
+    def test_empty(self):
+        assert vector_slots_batch([]) == 0
+
+    def test_zero_trip_still_issues(self):
+        assert vector_slots_batch([0, 0]) == 2
+
+
+class TestExpandSlices:
+    def test_matches_per_slice_concatenation(self):
+        rng = np.random.default_rng(2)
+        lengths = rng.integers(0, 7, size=12)
+        pointers = np.concatenate(([0], np.cumsum(lengths)))
+        selected = rng.permutation(12)[:7]
+        flat, got_lengths = expand_slices(pointers, selected)
+        expected = np.concatenate(
+            [np.arange(pointers[s], pointers[s + 1]) for s in selected]
+        )
+        assert np.array_equal(flat, expected)
+        assert np.array_equal(got_lengths, lengths[selected])
+
+    def test_all_slices_by_default(self):
+        pointers = np.array([0, 2, 2, 5])
+        flat, lengths = expand_slices(pointers)
+        assert np.array_equal(flat, np.arange(5))
+        assert np.array_equal(lengths, [2, 0, 3])
+
+
+class TestScanCostRows:
+    @pytest.mark.parametrize("bittree", [False, True])
+    def test_matches_per_row_merge_on_random_inputs(self, bittree):
+        rng = np.random.default_rng(3 if bittree else 4)
+        for trial in range(25):
+            n_rows = int(rng.integers(1, 8))
+            space = int(rng.integers(1, 3000))
+            config = _random_config(rng) if trial % 2 else ScannerConfig()
+            row_chunks, position_chunks = [], []
+            expected = zero_cost()
+            for row in range(n_rows):
+                count = int(rng.integers(0, min(space, 200)))
+                positions = np.sort(rng.choice(space, size=count, replace=False))
+                expected = expected.merge(
+                    scan_cost_single(positions, space, config, bittree=bittree)
+                )
+                row_chunks.append(np.full(count, row, dtype=np.int64))
+                position_chunks.append(positions)
+            got = scan_cost_rows(
+                np.concatenate(row_chunks),
+                np.concatenate(position_chunks),
+                n_rows,
+                space,
+                config,
+                bittree=bittree,
+            )
+            assert got == expected
+
+    def test_rows_without_positions_still_stream_chunks(self):
+        config = ScannerConfig()
+        empty = np.empty(0, dtype=np.int64)
+        got = scan_cost_rows(empty, empty, 3, 1000, config)
+        single = scan_cost_single(empty, 1000, config)
+        assert got.cycles == 3 * single.cycles
+        assert got.empty_cycles == 3 * single.empty_cycles
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(SimulationError):
+            scan_cost_rows(np.array([0]), np.array([10]), 1, 5)
+        with pytest.raises(SimulationError):
+            scan_cost_rows(np.array([2]), np.array([1]), 2, 5)
+
+
+class TestScanCostGrowingUnions:
+    def test_matches_sequential_union_scans(self):
+        rng = np.random.default_rng(5)
+        for trial in range(25):
+            n_rows = int(rng.integers(1, 5))
+            space = int(rng.integers(1, 2000))
+            config = _random_config(rng) if trial % 2 else ScannerConfig()
+            expected = zero_cost()
+            rows, positions, firsts, steps_per_row = [], [], [], []
+            for row in range(n_rows):
+                step_count = int(rng.integers(0, 6))
+                steps_per_row.append(step_count)
+                union = np.empty(0, dtype=np.int64)
+                first_seen = {}
+                for step in range(1, step_count + 1):
+                    operand = np.unique(
+                        rng.choice(space, size=int(rng.integers(1, min(space, 60) + 1)))
+                    )
+                    expected = expected.merge(
+                        scan_cost_pair(operand, union, space, ScanMode.UNION, config)
+                    )
+                    for position in operand.tolist():
+                        first_seen.setdefault(position, step)
+                    union = np.union1d(union, operand)
+                for position, step in first_seen.items():
+                    rows.append(row)
+                    positions.append(position)
+                    firsts.append(step)
+            got = scan_cost_growing_unions(
+                np.asarray(rows),
+                np.asarray(positions),
+                np.asarray(firsts),
+                np.asarray(steps_per_row),
+                space,
+                config,
+            )
+            assert got == expected
+
+    def test_no_steps_is_free(self):
+        empty = np.empty(0, dtype=np.int64)
+        assert scan_cost_growing_unions(empty, empty, empty, np.array([0, 0]), 100) == zero_cost()
+
+
+class TestCrossTileBatch:
+    def test_matches_loop_on_random_matrices(self):
+        rng = np.random.default_rng(6)
+        for _ in range(10):
+            rows, cols = int(rng.integers(1, 40)), int(rng.integers(1, 40))
+            dense = rng.random((rows, cols))
+            dense[dense < 0.8] = 0.0
+            matrix = CSRMatrix.from_dense(dense)
+            tiles = int(rng.integers(1, 9))
+            partitioning = balanced_partition(
+                matrix.row_lengths().astype(np.float64), tiles
+            )
+            assert cross_tile_fraction_rows_batch(
+                matrix, partitioning
+            ) == cross_tile_fraction_rows(matrix, partitioning)
