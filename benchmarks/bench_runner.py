@@ -1,14 +1,19 @@
-"""Benchmark the experiment runner: cache states, pool sizes, and backends.
+"""Benchmark the experiment runner: cache states, pool sizes, backends, costing.
 
 Times full-grid ``collect_profiles`` wall time under five configurations --
 cold serial, warm cache, cold parallel, cache-disabled serial, and the
 per-element ``reference`` profiling backend (the pre-vectorization
-behaviour) -- and writes ``BENCH_runner.json`` at the repository root to
-track the performance trajectory.
+behaviour) -- plus the platform-costing layer (the per-call
+``estimate_cycles`` loop against ``estimate_cycles_batch`` over a
+128-variant design-space grid), and writes ``BENCH_runner.json`` at the
+repository root to track the performance trajectory.
 
 With ``--baseline`` the run additionally compares its cold vectorized time
-against a committed record and fails (exit code 1) when it regressed by
-more than ``--max-slowdown`` (the CI ``bench-smoke`` job's contract).
+and batched costing time against a committed record and fails (exit code 1)
+when either regressed by more than ``--max-slowdown`` (the CI
+``bench-smoke`` job's contract). The costing record is also gated
+unconditionally: the batched path must be bit-identical to the scalar loop
+and at least ``--min-batch-speedup`` times faster.
 
 Usage::
 
@@ -27,8 +32,13 @@ import tempfile
 import time
 from pathlib import Path
 
+from repro.apps.timing import estimate_cycles, estimate_cycles_batch
+from repro.config import MemoryTechnology, ShuffleMode
+from repro.core.ordering import OrderingMode
 from repro.eval.experiments import collect_profiles
 from repro.runtime.cache import ProfileCache
+from repro.runtime.cli import _parse_scale
+from repro.runtime.sweep import sweep
 
 
 def _timed(**kwargs) -> float:
@@ -37,11 +47,54 @@ def _timed(**kwargs) -> float:
     return time.perf_counter() - start
 
 
-def _parse_scale(text: str) -> float:
-    if "/" in text:
-        numerator, _, denominator = text.partition("/")
-        return float(numerator) / float(denominator)
-    return float(text)
+def _bench_costing(profiles, batch_repeats: int = 3) -> dict:
+    """Time the scalar estimate_cycles loop against the batched path.
+
+    The grid sweeps structural and policy axes into 128 variants; the
+    calibrated sub-models (SpMU throughput, merge efficiency) are warmed --
+    and their equality verified cell by cell -- before timing, so both
+    paths measure costing machinery rather than one-time microbenchmarks.
+    """
+    variants = sweep(
+        lanes=(8, 16),
+        banks=(16, 32),
+        queue_depth=(8, 16),
+        bank_mapping=("hash", "linear"),
+        ordering=(OrderingMode.UNORDERED, OrderingMode.ADDRESS_ORDERED),
+        memory=(MemoryTechnology.HBM2E, MemoryTechnology.DDR4),
+        shuffle=(ShuffleMode.MRG1, ShuffleMode.NONE),
+    )
+    platforms = list(variants.values())
+
+    warm = estimate_cycles_batch(profiles, platforms)
+
+    start = time.perf_counter()
+    identical = True
+    for i, profile in enumerate(profiles):
+        for j, platform in enumerate(platforms):
+            cycles, _ = estimate_cycles(profile, platform)
+            if cycles != warm.cycles[i, j]:
+                identical = False
+    scalar_s = time.perf_counter() - start
+
+    batch_s = min(
+        _timed_batch(profiles, platforms) for _ in range(max(1, batch_repeats))
+    )
+    return {
+        "variants": len(platforms),
+        "profiles": len(profiles),
+        "cells": len(platforms) * len(profiles),
+        "scalar_s": round(scalar_s, 4),
+        "batch_s": round(batch_s, 4),
+        "batch_speedup": round(scalar_s / batch_s, 1),
+        "identical": identical,
+    }
+
+
+def _timed_batch(profiles, platforms) -> float:
+    start = time.perf_counter()
+    estimate_cycles_batch(profiles, platforms)
+    return time.perf_counter() - start
 
 
 def main(argv=None) -> int:
@@ -65,6 +118,17 @@ def main(argv=None) -> int:
         help="fail when cold_serial_s exceeds baseline by this factor (default 2.0)",
     )
     parser.add_argument(
+        "--no-costing",
+        action="store_true",
+        help="skip the batched-costing benchmark",
+    )
+    parser.add_argument(
+        "--min-batch-speedup",
+        type=float,
+        default=5.0,
+        help="fail when batched costing is not this much faster than the scalar loop",
+    )
+    parser.add_argument(
         "--output",
         default=str(Path(__file__).resolve().parent.parent / "BENCH_runner.json"),
         help="where to write the benchmark record",
@@ -82,8 +146,9 @@ def main(argv=None) -> int:
         return 2
 
     # Warm the in-process dataset-generation cache so every configuration
-    # below measures profiling cost, not synthetic-matrix generation.
-    collect_profiles(scale=scale, workers=1, cache=False)
+    # below measures profiling cost, not synthetic-matrix generation. The
+    # returned profiles double as the costing benchmark's workload rows.
+    profile_set = collect_profiles(scale=scale, workers=1, cache=False)
 
     with tempfile.TemporaryDirectory() as tmp_serial, tempfile.TemporaryDirectory() as tmp_par:
         uncached_s = _timed(scale=scale, workers=1, cache=False)
@@ -118,9 +183,31 @@ def main(argv=None) -> int:
             else round(reference_serial_s / uncached_s, 2)
         ),
     }
+    costing = None
+    if not args.no_costing:
+        profiles = [profile_set.profiles[key] for key in sorted(profile_set.profiles)]
+        costing = _bench_costing(profiles)
+        record["costing"] = costing
     Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
     print(json.dumps(record, indent=2))
 
+    failed = False
+    if costing is not None:
+        if not costing["identical"]:
+            print(
+                "REGRESSION: estimate_cycles_batch diverged from the scalar "
+                "estimate_cycles loop",
+                file=sys.stderr,
+            )
+            failed = True
+        if costing["batch_speedup"] < args.min_batch_speedup:
+            print(
+                f"REGRESSION: batched costing speedup {costing['batch_speedup']}x is "
+                f"below the required {args.min_batch_speedup}x "
+                f"({costing['scalar_s']}s scalar vs {costing['batch_s']}s batched)",
+                file=sys.stderr,
+            )
+            failed = True
     if baseline is not None:
         budget = baseline["cold_serial_s"] * args.max_slowdown
         if cold_serial_s > budget:
@@ -130,12 +217,29 @@ def main(argv=None) -> int:
                 f"at scale {baseline['scale']})",
                 file=sys.stderr,
             )
-            return 1
-        print(
-            f"baseline check ok: {cold_serial_s:.3f}s <= {budget:.3f}s "
-            f"({args.max_slowdown}x of {baseline['cold_serial_s']}s)"
-        )
-    return 0
+            failed = True
+        else:
+            print(
+                f"baseline check ok: {cold_serial_s:.3f}s <= {budget:.3f}s "
+                f"({args.max_slowdown}x of {baseline['cold_serial_s']}s)"
+            )
+        baseline_costing = baseline.get("costing")
+        if costing is not None and baseline_costing is not None:
+            costing_budget = baseline_costing["batch_s"] * args.max_slowdown
+            if costing["batch_s"] > costing_budget:
+                print(
+                    f"REGRESSION: batched costing {costing['batch_s']:.4f}s exceeds "
+                    f"{args.max_slowdown}x the baseline ({baseline_costing['batch_s']}s)",
+                    file=sys.stderr,
+                )
+                failed = True
+            else:
+                print(
+                    f"costing check ok: {costing['batch_s']:.4f}s <= "
+                    f"{costing_budget:.4f}s ({args.max_slowdown}x of "
+                    f"{baseline_costing['batch_s']}s)"
+                )
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

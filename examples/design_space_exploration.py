@@ -1,80 +1,81 @@
-"""Design-space exploration with the component models.
+"""Design-space exploration with the batched costing layer.
 
-The paper's architectural choices -- a 16-entry reorder queue with three
-allocation priorities, a 256-bit/16-output scanner, the Mrg-1 shuffle
-network, and address hashing -- each come from a sensitivity study. This
-example re-runs the microbenchmark side of those studies so a designer can
-explore alternative points:
+The paper's architectural choices -- 16 lanes, 16 banks, a 16-entry reorder
+queue, address hashing, the Mrg-1 shuffle network -- each come from a
+sensitivity study around one fixed design point. This example opens the
+configuration space instead: :func:`repro.runtime.dse.explore` sweeps
+structural axes, costs every workload profile under every variant in one
+vectorized :func:`~repro.apps.timing.estimate_cycles_batch` call, and
+extracts the cycles-vs-area Pareto frontier.
 
-* SpMU bank utilization vs queue depth and priorities (Table 4),
-* ordering-mode throughput (Figure 4 / Table 10),
-* scanner area vs width (Table 5) next to its performance impact,
-* chip area as sparse support is provisioned on a fraction of units.
+Profiles are collected once (cached on disk) and SpMU microbenchmark
+throughputs persist in the content-addressed throughput store, so re-runs
+and follow-up sweeps are fast. The same exploration is available from the
+command line as ``repro-eval dse --axis lanes=8,16,32 --axis banks=8,16,32``.
 
 Run it with ``python examples/design_space_exploration.py``.
 """
 
 from __future__ import annotations
 
-import dataclasses
+from repro.config import MemoryTechnology
+from repro.runtime.dse import DSEResult, explore
+from repro.runtime.registry import RunContext
 
-from repro.config import CapstanConfig, SpMUConfig
-from repro.core import (
-    OrderingMode,
-    area_overhead_vs_plasticine,
-    capstan_area,
-    measure_bank_utilization,
-    scanner_area_um2,
-    scheduler_area_um2,
-)
+#: Small scale so the example finishes in seconds.
+CONTEXT = RunContext(scale=1 / 256)
 
-
-def sweep_spmu() -> None:
-    print("SpMU reorder-queue design space (random-access bank utilization)")
-    print(f"  {'depth':>6} {'priorities':>10} {'util %':>8} {'area um^2':>10}")
-    for depth in (8, 16, 32):
-        for priorities in (1, 3):
-            config = SpMUConfig(queue_depth=depth, allocator_priorities=priorities)
-            utilization = measure_bank_utilization(config, vectors=100)
-            area = scheduler_area_um2(depth, config.crossbar_inputs)
-            print(f"  {depth:>6} {priorities:>10} {100 * utilization:>8.1f} {area:>10.0f}")
+#: Applications with contrasting bottlenecks: SRAM-bound SpMV, network- and
+#: DRAM-bound BFS.
+APPS = ("spmv-csr", "bfs")
 
 
-def sweep_ordering() -> None:
-    print("\nOrdering-mode throughput (the cost of stricter memory semantics)")
-    for mode in (
-        OrderingMode.UNORDERED,
-        OrderingMode.ADDRESS_ORDERED,
-        OrderingMode.FULLY_ORDERED,
-        OrderingMode.ARBITRATED,
-    ):
-        utilization = measure_bank_utilization(SpMUConfig(), ordering=mode, vectors=100)
-        print(f"  {mode.value:>16}: {100 * utilization:5.1f}% of bank bandwidth")
+def print_result(title: str, result: DSEResult) -> None:
+    frontier = set(result.frontier())
+    print(f"\n{title}")
+    width = max(len(name) for name in result.names)
+    print(f"  {'variant':<{width}}  {'gmean cycles':>12}  {'area mm^2':>9}")
+    for row in sorted(result.rows(), key=lambda r: r["gmean_cycles"]):
+        marker = " *" if row["name"] in frontier else ""
+        print(
+            f"  {row['name']:<{width}}  {row['gmean_cycles']:>12.4g}  "
+            f"{row['area_mm2']:>9.1f}{marker}"
+        )
+    print(f"  Pareto frontier (*): {', '.join(result.frontier())}")
 
 
-def sweep_scanner() -> None:
-    print("\nScanner area (um^2) vs width and output vectorization")
-    for width in (128, 256, 512):
-        line = "  ".join(f"{scanner_area_um2(width, out):8.0f}" for out in (1, 4, 16))
-        print(f"  {width:>4} bits: {line}   (outputs 1 / 4 / 16)")
-    print("  The paper picks 256x16: 54% smaller than 512x16, negligible slowdown (Figure 6).")
+def structural_sweep() -> None:
+    """Lanes x banks: how wide should the machine and its memories be?"""
+    result = explore(apps=APPS, context=CONTEXT, lanes=(8, 16, 32), banks=(8, 16, 32))
+    print_result("Structural design space (lanes x banks)", result)
 
 
-def sweep_provisioning() -> None:
-    print("\nArea overhead vs fraction of units with sparse support")
-    for fraction in (1.0, 0.5, 0.25):
-        config = dataclasses.replace(CapstanConfig(), sparse_fraction=fraction)
-        overhead = area_overhead_vs_plasticine(config)
-        total = capstan_area(config).total_mm2
-        print(f"  {fraction:4.0%} sparse units: +{overhead:5.1%} area over Plasticine "
-              f"({total:.1f} mm^2)")
+def scheduler_sweep() -> None:
+    """Queue depth x memory: scheduling window against memory technology."""
+    result = explore(
+        apps=APPS,
+        context=CONTEXT,
+        queue_depth=(8, 16, 32),
+        memory=(MemoryTechnology.HBM2E, MemoryTechnology.DDR4),
+    )
+    print_result("Scheduler / memory design space (queue depth x memory)", result)
+
+
+def policy_sweep() -> None:
+    """Bank mapping x allocator: the Table 9 policy space, batched."""
+    result = explore(
+        apps=APPS,
+        context=CONTEXT,
+        bank_mapping=("hash", "linear"),
+        allocator=("separable", "greedy", "arbitrated"),
+    )
+    print_result("SpMU policy space (bank mapping x allocator)", result)
 
 
 def main() -> None:
-    sweep_spmu()
-    sweep_ordering()
-    sweep_scanner()
-    sweep_provisioning()
+    structural_sweep()
+    scheduler_sweep()
+    policy_sweep()
 
 
 if __name__ == "__main__":

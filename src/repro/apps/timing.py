@@ -16,21 +16,33 @@ Capstan configuration. The model follows the paper's additive methodology:
    the ideal-memory baseline.
 
 Every sensitivity study in the evaluation is a re-costing of the same
-profile under a different :class:`CapstanPlatform`.
+profile under a different :class:`CapstanPlatform`. Single pairs go through
+:func:`estimate_cycles`; design-space sweeps go through
+:func:`estimate_cycles_batch`, which stacks profile fields into numpy
+arrays and costs the whole (profile x platform) matrix in vectorized
+passes while producing bit-identical numbers.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
-from ..config import CapstanConfig, MemoryTechnology, ShuffleMode, SpMUConfig
+import numpy as np
+
+from ..config import CapstanConfig, MemoryTechnology, ShuffleConfig, ShuffleMode
 from ..core.ordering import OrderingMode
 from ..core.spmu import effective_bank_throughput
 from ..core.shuffle import merge_efficiency
-from ..sim.dram import DRAMModel, TrafficSummary
+from ..sim.dram import (
+    BURST_BYTES,
+    RANDOM_ACCESS_EFFICIENCY,
+    STREAM_ACCESS_EFFICIENCY,
+    DRAMModel,
+    TrafficSummary,
+)
 from ..sim.network import NetworkConfig, OnChipNetwork
-from ..sim.stats import RunMetrics, StallBreakdown
+from ..sim.stats import STALL_CATEGORIES, RunMetrics, StallBreakdown
 from .profile import WorkloadProfile
 
 
@@ -85,23 +97,80 @@ def ideal_platform() -> CapstanPlatform:
     )
 
 
-#: Merge-efficiency cache keyed by (mode, rounded cross fraction).
+#: Merge-efficiency cache keyed by (full shuffle config, lanes, rounded
+#: cross fraction). Keying by the whole configuration (not just the mode)
+#: keeps platforms that share a mode but differ in crossbar parameters from
+#: aliasing each other's cached efficiency.
 _MERGE_EFFICIENCY_CACHE: dict = {}
 
+#: Request slots sampled by the merge-efficiency microbenchmark; the vector
+#: count is derived from this so wider machines measure the same traffic.
+_MERGE_CALIBRATION_SLOTS = 384
 
-def _shuffle_efficiency(mode: ShuffleMode, cross_fraction: float) -> float:
+
+def _shuffle_efficiency(shuffle: ShuffleConfig, lanes: int, cross_fraction: float) -> float:
     """Delivered-slot efficiency of the shuffle network for a traffic mix."""
-    if mode is ShuffleMode.NONE:
+    if shuffle.mode is ShuffleMode.NONE:
         # Without a shuffle network every cross-partition request is a
         # scalar transfer; efficiency collapses towards 1/lanes for
         # cross-heavy traffic.
-        return max(1.0 / 16.0, 1.0 - cross_fraction * (15.0 / 16.0))
-    key = (mode, round(min(max(cross_fraction, 0.0), 1.0), 2))
+        return max(1.0 / lanes, 1.0 - cross_fraction * ((lanes - 1.0) / lanes))
+    key = (shuffle, lanes, round(min(max(cross_fraction, 0.0), 1.0), 2))
     cached = _MERGE_EFFICIENCY_CACHE.get(key)
     if cached is None:
-        cached = merge_efficiency(mode, cross_partition_fraction=key[1], vectors=24)
+        cached = merge_efficiency(
+            shuffle.mode,
+            cross_partition_fraction=key[2],
+            lanes=lanes,
+            vectors=max(8, _MERGE_CALIBRATION_SLOTS // lanes),
+            config=shuffle,
+        )
         _MERGE_EFFICIENCY_CACHE[key] = cached
-    return max(cached, 1.0 / 16.0)
+    return max(cached, 1.0 / lanes)
+
+
+#: Reused analytic models, keyed by their structural parameters. Both are
+#: stateless, so sharing one instance across estimates cannot change any
+#: result -- it only removes per-call construction from sweeps.
+_NETWORK_CACHE: Dict[int, OnChipNetwork] = {}
+_DRAM_CACHE: Dict[Tuple[MemoryTechnology, float], DRAMModel] = {}
+
+
+def _network_for(units: int) -> OnChipNetwork:
+    """The on-chip network model for a mapping using ``units`` CU/SpMU pairs."""
+    grid_width = max(2, int(round(units**0.5)))
+    network = _NETWORK_CACHE.get(grid_width)
+    if network is None:
+        network = OnChipNetwork(NetworkConfig(grid_width=grid_width))
+        _NETWORK_CACHE[grid_width] = network
+    return network
+
+
+def _dram_for(memory: MemoryTechnology, clock_ghz: float) -> DRAMModel:
+    """The DRAM model for one (technology, clock) combination."""
+    key = (memory, clock_ghz)
+    dram = _DRAM_CACHE.get(key)
+    if dram is None:
+        dram = DRAMModel(memory, clock_ghz=clock_ghz)
+        _DRAM_CACHE[key] = dram
+    return dram
+
+
+def _platform_throughput(platform: CapstanPlatform) -> float:
+    """Calibrated SpMU request throughput for one platform (Table 9 inputs)."""
+    allocator_kind = "separable" if platform.allocator == "separable" else "greedy"
+    if platform.allocator == "arbitrated":
+        ordering_for_tput = OrderingMode.ARBITRATED
+    else:
+        ordering_for_tput = platform.ordering
+    throughput = effective_bank_throughput(
+        ordering=ordering_for_tput,
+        bank_mapping=platform.bank_mapping,
+        allocator_kind=allocator_kind,
+        config=platform.config.spmu,
+        lanes=platform.config.lanes,
+    )
+    return max(throughput, 1.0)
 
 
 def estimate_cycles(
@@ -145,10 +214,12 @@ def estimate_cycles(
 
     # --- Network: round trips + shuffle serialization of cross-tile traffic. #
     if not platform.ideal_network:
-        network = OnChipNetwork(NetworkConfig(grid_width=max(2, int(round(units ** 0.5)))))
+        network = _network_for(units)
         round_trip = network.round_trip_cycles(profile.sequential_rounds)
         cross_requests = profile.cross_tile_request_fraction * profile.sram_random_accesses
-        efficiency = _shuffle_efficiency(config.shuffle.mode, profile.cross_tile_request_fraction)
+        efficiency = _shuffle_efficiency(
+            config.shuffle, lanes, profile.cross_tile_request_fraction
+        )
         shuffle_cycles = cross_requests / (lanes * units) * (1.0 / efficiency - 1.0)
         pipeline_penalty = 0.0
         if not profile.pipelinable:
@@ -163,19 +234,7 @@ def estimate_cycles(
     if platform.ideal_sram:
         sram_cycles = ideal_sram_cycles
     else:
-        allocator_kind = "separable" if platform.allocator == "separable" else "greedy"
-        if platform.allocator == "arbitrated":
-            ordering_for_tput = OrderingMode.ARBITRATED
-        else:
-            ordering_for_tput = platform.ordering
-        throughput = effective_bank_throughput(
-            ordering=ordering_for_tput,
-            bank_mapping="hash",
-            allocator_kind=allocator_kind,
-            config=config.spmu,
-            lanes=lanes,
-        )
-        throughput = max(throughput, 1.0)
+        throughput = _platform_throughput(platform)
         normal_fraction = 1.0 - (
             profile.strided_fraction if platform.bank_mapping == "linear" else 0.0
         )
@@ -188,7 +247,7 @@ def estimate_cycles(
 
     # --- DRAM: bandwidth-limited traffic beyond the ideal-DRAM baseline. ---- #
     if not platform.ideal_memory:
-        dram = DRAMModel(config.memory, clock_ghz=config.clock_ghz)
+        dram = _dram_for(config.memory, config.clock_ghz)
         stream_read = profile.dram_stream_read_bytes
         if config.compression_enabled and profile.pointer_stream_bytes > 0:
             saved = profile.pointer_stream_bytes * (
@@ -204,6 +263,222 @@ def estimate_cycles(
         breakdown.dram = max(0.0, dram_cycles - breakdown.load_store)
 
     return breakdown.total_cycles, breakdown
+
+
+@dataclass
+class BatchCostResult:
+    """Vectorized costing of a (profile x platform) grid.
+
+    Attributes:
+        cycles: End-to-end cycle estimates, shape
+            ``(len(profiles), len(platforms))``; ``cycles[i, j]`` equals
+            ``estimate_cycles(profiles[i], platforms[j])[0]`` exactly.
+        categories: One array per :data:`~repro.sim.stats.STALL_CATEGORIES`
+            entry, each the same shape as ``cycles``.
+    """
+
+    cycles: np.ndarray
+    categories: Dict[str, np.ndarray]
+
+    def breakdown(self, profile_index: int, platform_index: int) -> StallBreakdown:
+        """The :class:`StallBreakdown` of one grid cell."""
+        return StallBreakdown(
+            **{
+                name: float(self.categories[name][profile_index, platform_index])
+                for name in STALL_CATEGORIES
+            }
+        )
+
+
+def estimate_cycles_batch(
+    profiles: Sequence[WorkloadProfile], platforms: Sequence[CapstanPlatform]
+) -> BatchCostResult:
+    """Cost every (profile, platform) pair of a grid in vectorized passes.
+
+    Produces exactly the numbers :func:`estimate_cycles` produces cell by
+    cell -- every arithmetic step mirrors the scalar model's operation
+    order, and the calibrated sub-models (SpMU throughput, merge
+    efficiency, network latency, DRAM parameters) are resolved through the
+    same caches -- but stacks the profile fields into numpy arrays so a
+    design-space sweep pays Python overhead once per grid instead of once
+    per pair. One :class:`~repro.sim.network.OnChipNetwork` /
+    :class:`~repro.sim.dram.DRAMModel` instance is reused per distinct
+    configuration instead of being rebuilt per call.
+
+    Args:
+        profiles: Application profiles (grid rows).
+        platforms: Capstan configurations to cost them on (grid columns).
+
+    Returns:
+        A :class:`BatchCostResult` with per-cell cycles and stall categories.
+    """
+    profiles = list(profiles)
+    platforms = [p or default_platform() for p in platforms]
+    n_profiles, n_platforms = len(profiles), len(platforms)
+    if n_profiles == 0 or n_platforms == 0:
+        empty = {name: np.zeros((n_profiles, n_platforms)) for name in STALL_CATEGORIES}
+        return BatchCostResult(cycles=np.zeros((n_profiles, n_platforms)), categories=empty)
+
+    # --- Stack profile fields into (P, 1) columns. Derived per-profile ------ #
+    # scalars use the same Python expressions as the scalar model so their
+    # rounding is identical.
+    def fcol(values) -> np.ndarray:
+        return np.array(values, dtype=np.float64).reshape(n_profiles, 1)
+
+    def icol(values) -> np.ndarray:
+        return np.array(values, dtype=np.int64).reshape(n_profiles, 1)
+
+    compute_iterations = icol([p.compute_iterations for p in profiles])
+    vector_slots = icol([p.vector_slots for p in profiles])
+    scan_busy_cycles = icol([p.scan_cycles for p in profiles])
+    scan_empty_cycles = icol([p.scan_empty_cycles for p in profiles])
+    streamed_words = fcol([p.total_stream_bytes / 4.0 for p in profiles])
+    imbalance_fraction = fcol([p.imbalance_fraction for p in profiles])
+    outer_parallelism = icol([p.outer_parallelism for p in profiles])
+    sram_accesses = icol([p.sram_random_accesses for p in profiles])
+    strided_fraction = fcol([p.strided_fraction for p in profiles])
+    cross_requests = fcol(
+        [p.cross_tile_request_fraction * p.sram_random_accesses for p in profiles]
+    )
+    sequential_rounds = icol([p.sequential_rounds for p in profiles])
+    pipelinable = np.array([p.pipelinable for p in profiles], dtype=bool).reshape(
+        n_profiles, 1
+    )
+    stream_read_bytes = fcol([p.dram_stream_read_bytes for p in profiles])
+    stream_write_bytes = fcol([p.dram_stream_write_bytes for p in profiles])
+    dram_accesses = icol(
+        [p.dram_random_reads + 2 * p.dram_random_updates for p in profiles]
+    )
+
+    def _compressed_stream_read(p: WorkloadProfile) -> float:
+        stream_read = p.dram_stream_read_bytes
+        if p.pointer_stream_bytes > 0:
+            saved = p.pointer_stream_bytes * (
+                1.0 - 1.0 / max(p.pointer_compression_ratio, 1.0)
+            )
+            stream_read = max(0.0, stream_read - saved)
+        return stream_read
+
+    compressed_read_bytes = fcol([_compressed_stream_read(p) for p in profiles])
+
+    # --- Stack platform fields into (1, Q) rows. ---------------------------- #
+    def frow(values) -> np.ndarray:
+        return np.array(values, dtype=np.float64).reshape(1, n_platforms)
+
+    def irow(values) -> np.ndarray:
+        return np.array(values, dtype=np.int64).reshape(1, n_platforms)
+
+    def brow(values) -> np.ndarray:
+        return np.array(values, dtype=bool).reshape(1, n_platforms)
+
+    lanes = irow([p.config.lanes for p in platforms])
+    compute_units = irow([p.config.compute_units for p in platforms])
+    banks = irow([p.config.spmu.banks for p in platforms])
+    ideal_network = brow([p.ideal_network for p in platforms])
+    ideal_sram = brow([p.ideal_sram for p in platforms])
+    ideal_memory = brow([p.ideal_memory for p in platforms])
+    linear_mapping = brow([p.bank_mapping == "linear" for p in platforms])
+    compression = brow([p.config.compression_enabled for p in platforms])
+    # Calibrated SpMU throughput per platform (1.0 placeholder when the
+    # scalar model would never consult it).
+    throughput = frow(
+        [1.0 if p.ideal_sram else _platform_throughput(p) for p in platforms]
+    )
+    # DRAM denominators: the scalar model divides by (peak * efficiency).
+    drams = [_dram_for(p.config.memory, p.config.clock_ghz) for p in platforms]
+    stream_denominator = frow(
+        [
+            d.bytes_per_cycle_peak * STREAM_ACCESS_EFFICIENCY[d.technology]
+            for d in drams
+        ]
+    )
+    random_denominator = frow(
+        [
+            d.bytes_per_cycle_peak * RANDOM_ACCESS_EFFICIENCY[d.technology]
+            for d in drams
+        ]
+    )
+
+    # --- Per-pair matrices, mirroring the scalar model step for step. ------- #
+    units = np.maximum(1, np.minimum(compute_units, outer_parallelism))
+    lane_units = lanes * units
+
+    active = compute_iterations / lane_units
+
+    slot_cycles = vector_slots / units
+    vector_length = np.maximum(0.0, slot_cycles - active)
+
+    scan_busy = scan_busy_cycles / units
+    scan_hidden = np.minimum(scan_busy, slot_cycles)
+    scan = scan_empty_cycles / units + np.maximum(0.0, scan_busy - scan_hidden)
+
+    load_store = streamed_words / lane_units
+
+    balanced = active + vector_length + scan
+    imbalance = balanced * imbalance_fraction
+
+    # Network: the average latency depends on the per-pair unit count; the
+    # lookup goes through the same memoized models as the scalar path.
+    unique_units = np.unique(units)
+    latency_lut = np.array(
+        [_network_for(int(u)).average_latency_cycles for u in unique_units]
+    )
+    average_latency = latency_lut[np.searchsorted(unique_units, units)]
+    round_trip = (sequential_rounds * 2.0) * average_latency
+    efficiency = np.ones((n_profiles, n_platforms))
+    efficiency_columns: Dict[Tuple[ShuffleConfig, int], np.ndarray] = {}
+    for j, platform in enumerate(platforms):
+        if platform.ideal_network:
+            continue
+        shuffle_key = (platform.config.shuffle, platform.config.lanes)
+        column = efficiency_columns.get(shuffle_key)
+        if column is None:
+            column = np.array(
+                [
+                    _shuffle_efficiency(
+                        shuffle_key[0], shuffle_key[1], p.cross_tile_request_fraction
+                    )
+                    for p in profiles
+                ]
+            )
+            efficiency_columns[shuffle_key] = column
+        efficiency[:, j] = column
+    shuffle_cycles = cross_requests / lane_units * (1.0 / efficiency - 1.0)
+    pipeline_penalty = np.where(pipelinable, 0.0, sequential_rounds * average_latency)
+    network = np.where(ideal_network, 0.0, round_trip + shuffle_cycles + pipeline_penalty)
+
+    # SRAM: bank conflicts beyond the conflict-free ideal.
+    ideal_sram_cycles = sram_accesses / (banks * units)
+    normal_fraction = np.where(linear_mapping, 1.0 - strided_fraction, 1.0)
+    strided_used = 1.0 - normal_fraction
+    conflicted = (sram_accesses * normal_fraction) / (throughput * units) + (
+        sram_accesses * strided_used
+    ) / (1.0 * units)
+    sram_cycles = np.where(ideal_sram, ideal_sram_cycles, conflicted)
+    sram = np.maximum(0.0, sram_cycles - np.minimum(ideal_sram_cycles, active))
+
+    # DRAM: bandwidth-limited traffic beyond the ideal-DRAM baseline.
+    stream_read = np.where(compression, compressed_read_bytes, stream_read_bytes)
+    streaming_cycles = (stream_read + stream_write_bytes) / stream_denominator
+    random_cycles = (dram_accesses * BURST_BYTES) / random_denominator
+    dram_cycles = streaming_cycles + random_cycles
+    dram = np.where(ideal_memory, 0.0, np.maximum(0.0, dram_cycles - load_store))
+
+    categories = {
+        "active": active,
+        "scan": scan,
+        "load_store": load_store,
+        "vector_length": vector_length,
+        "imbalance": imbalance,
+        "network": network,
+        "sram": sram,
+        "dram": dram,
+    }
+    # Total in STALL_CATEGORIES order, matching StallBreakdown.total_cycles.
+    cycles = np.zeros((n_profiles, n_platforms))
+    for name in STALL_CATEGORIES:
+        cycles = cycles + categories[name]
+    return BatchCostResult(cycles=cycles, categories=categories)
 
 
 def run_metrics(

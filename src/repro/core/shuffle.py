@@ -304,15 +304,27 @@ def merge_efficiency(
     vectors: int = 64,
     partitions: int = 4,
     seed: int = 3,
+    config: Optional[ShuffleConfig] = None,
 ) -> float:
     """Measure how well a shuffle mode compacts cross-partition traffic.
 
     Returns the ratio of delivered request slots to delivered vector slots
     (higher is better; 1.0 means every output vector is full). Used by the
     Table 11 harness and the application network model.
+
+    Args:
+        config: Optional full shuffle configuration whose crossbar
+            parameters (e.g. the inverse-permutation FIFO depth) the
+            measured network should use; ``mode`` and the microbenchmark's
+            partition count still override its routing shape. ``None``
+            measures a default-parameter network.
     """
+    import dataclasses
+
     rng = np.random.default_rng(seed)
-    network = ShuffleNetwork(ShuffleConfig(mode=mode, endpoints=max(partitions, 2)), lanes=lanes)
+    base = config if config is not None else ShuffleConfig()
+    network_config = dataclasses.replace(base, mode=mode, endpoints=max(partitions, 2))
+    network = ShuffleNetwork(network_config, lanes=lanes)
     total_requests = 0
     total_vector_slots = 0
     for _ in range(vectors):

@@ -620,6 +620,29 @@ def measure_bank_utilization(
     return stats.bank_utilization
 
 
+def _persistent_throughput_store():
+    """The on-disk throughput store, or ``None`` when disabled/unavailable.
+
+    Imported lazily (and at call time) so this low-level module never pulls
+    in the runtime package during import -- :mod:`repro.runtime` sits above
+    :mod:`repro.core` and importing it eagerly here would be circular.
+    """
+    global _STORE_UNAVAILABLE
+    if _STORE_UNAVAILABLE:
+        return None
+    try:
+        from ..runtime.cache import ThroughputStore, throughput_store_enabled
+    except ImportError:
+        _STORE_UNAVAILABLE = True
+        return None
+    if not throughput_store_enabled():
+        return None
+    return ThroughputStore()
+
+
+_STORE_UNAVAILABLE = False
+
+
 def effective_bank_throughput(
     ordering: OrderingMode = OrderingMode.UNORDERED,
     bank_mapping: str = "hash",
@@ -631,29 +654,46 @@ def effective_bank_throughput(
 
     The application-level timing model multiplies this by the number of
     SpMUs involved to convert random on-chip access counts into cycles.
-    Results are cached because the underlying microbenchmark is stochastic
-    but deterministic for a given configuration.
+    Results are memoized in process and persisted to the content-addressed
+    :class:`~repro.runtime.cache.ThroughputStore` because the underlying
+    microbenchmark is stochastic but deterministic for a given
+    configuration -- design-space sweeps re-cost hundreds of SpMU variants,
+    and each fresh process would otherwise re-simulate all of them.
     """
-    key = (
-        ordering,
-        bank_mapping,
-        allocator_kind,
-        config or SpMUConfig(),
-        lanes,
-    )
+    config = config or SpMUConfig()
+    key = (ordering, bank_mapping, allocator_kind, config, lanes)
     cached = _THROUGHPUT_CACHE.get(key)
     if cached is not None:
         return cached
+    store = _persistent_throughput_store()
+    store_key = None
+    if store is not None:
+        store_key = store.key(
+            ordering=ordering,
+            bank_mapping=bank_mapping,
+            allocator_kind=allocator_kind,
+            config=config,
+            lanes=lanes,
+        )
+        persisted = store.load(store_key)
+        if persisted is not None:
+            _THROUGHPUT_CACHE[key] = persisted
+            return persisted
     utilization = measure_bank_utilization(
-        config or SpMUConfig(),
+        config,
         ordering=ordering,
         vectors=120,
         lanes=lanes,
         bank_mapping=bank_mapping,
         allocator_kind=allocator_kind,
     )
-    throughput = utilization * (config or SpMUConfig()).banks
+    throughput = utilization * config.banks
     _THROUGHPUT_CACHE[key] = throughput
+    if store is not None and store_key is not None:
+        try:
+            store.store(store_key, throughput)
+        except OSError:
+            pass  # a read-only or full filesystem must never fail costing
     return throughput
 
 

@@ -8,9 +8,17 @@ comparison.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
-from ..apps.timing import CapstanPlatform, default_platform, estimate_cycles, ideal_platform
+import numpy as np
+
+from ..apps.timing import (
+    CapstanPlatform,
+    default_platform,
+    estimate_cycles,
+    estimate_cycles_batch,
+    ideal_platform,
+)
 from ..config import CapstanConfig, MemoryTechnology, ShuffleMode, SpMUConfig
 from ..core.area import (
     capstan_area,
@@ -103,6 +111,30 @@ def table8_area() -> Dict:
 
 
 # --------------------------------------------------------------------------- #
+# Shared batched-costing helper for the sensitivity tables (9-12)
+# --------------------------------------------------------------------------- #
+
+
+def _batched_app_cycles(
+    profiles: ProfileSet, apps: List[str], platforms: Dict[str, CapstanPlatform]
+) -> Dict[str, np.ndarray]:
+    """Cost every application profile under every platform in one batch.
+
+    Returns one ``(n_datasets, n_platforms)`` cycle matrix per application,
+    with columns in ``platforms`` order; each cell equals the corresponding
+    per-call :func:`estimate_cycles` result exactly.
+    """
+    ordered = []
+    spans: Dict[str, Tuple[int, int]] = {}
+    for app in apps:
+        app_profiles = profiles.for_app(app)
+        spans[app] = (len(ordered), len(ordered) + len(app_profiles))
+        ordered.extend(app_profiles)
+    result = estimate_cycles_batch(ordered, list(platforms.values()))
+    return {app: result.cycles[start:stop, :] for app, (start, stop) in spans.items()}
+
+
+# --------------------------------------------------------------------------- #
 # Table 9: SpMU architecture sensitivity
 # --------------------------------------------------------------------------- #
 
@@ -135,13 +167,14 @@ def table9_spmu_sensitivity(profiles: Optional[ProfileSet] = None) -> Dict:
             ),
         )
     )
+    names = list(variants)
+    cycles_by_app = _batched_app_cycles(profiles, profiles.apps(), variants)
+    baseline_column = names.index("capstan-hash")
     results: Dict[str, Dict[str, float]] = {name: {} for name in variants}
-    for app in profiles.apps():
-        app_profiles = profiles.for_app(app)
-        baseline_cycles = [estimate_cycles(p, variants["capstan-hash"])[0] for p in app_profiles]
-        for name, platform in variants.items():
-            cycles = [estimate_cycles(p, platform)[0] for p in app_profiles]
-            ratios = [c / b for c, b in zip(cycles, baseline_cycles) if b > 0]
+    for app, cycles in cycles_by_app.items():
+        baseline_cycles = cycles[:, baseline_column]
+        for j, name in enumerate(names):
+            ratios = [c / b for c, b in zip(cycles[:, j], baseline_cycles) if b > 0]
             results[name][app] = geometric_mean(ratios)
     gmeans = {
         name: geometric_mean(list(app_ratios.values())) for name, app_ratios in results.items()
@@ -169,15 +202,17 @@ def table10_ordering_modes(profiles: Optional[ProfileSet] = None) -> Dict:
             OrderingMode.FULLY_ORDERED,
         )
     )
+    names = list(variants)
+    apps = [app for app in TABLE10_APPS if app in profiles.apps()]
+    cycles_by_app = _batched_app_cycles(profiles, apps, variants)
+    baseline_column = names.index("unordered")
     per_app: Dict[str, Dict[str, float]] = {name: {} for name in variants}
-    for app in TABLE10_APPS:
-        if app not in profiles.apps():
-            continue
-        app_profiles = profiles.for_app(app)
-        base = [estimate_cycles(p, variants["unordered"])[0] for p in app_profiles]
-        for name, platform in variants.items():
-            cycles = [estimate_cycles(p, platform)[0] for p in app_profiles]
-            per_app[name][app] = geometric_mean([c / b for c, b in zip(cycles, base) if b > 0])
+    for app, cycles in cycles_by_app.items():
+        base = cycles[:, baseline_column]
+        for j, name in enumerate(names):
+            per_app[name][app] = geometric_mean(
+                [c / b for c, b in zip(cycles[:, j], base) if b > 0]
+            )
     gmeans = {name: geometric_mean(list(vals.values())) for name, vals in per_app.items()}
     return {"per_app": per_app, "gmean": gmeans, "paper_gmean": TABLE10_PAPER_GMEAN}
 
@@ -218,16 +253,18 @@ def table11_shuffle_sensitivity(profiles: Optional[ProfileSet] = None) -> Dict:
         shuffle=(ShuffleMode.NONE, ShuffleMode.MRG0, ShuffleMode.MRG1, ShuffleMode.MRG16),
         name=lambda combo: _TABLE11_MODE_LABELS[combo["shuffle"]],
     )
+    names = list(variants)
+    apps = [app for app in TABLE11_APPS if app in profiles.apps()]
+    cycles_by_app = _batched_app_cycles(profiles, apps, variants)
+    baseline_column = names.index("mrg-1")
     results: Dict[str, Dict[str, float]] = {}
-    for app in TABLE11_APPS:
-        if app not in profiles.apps():
-            continue
-        app_profiles = profiles.for_app(app)
-        base = [estimate_cycles(p, variants["mrg-1"])[0] for p in app_profiles]
+    for app, cycles in cycles_by_app.items():
+        base = cycles[:, baseline_column]
         results[app] = {}
-        for name, platform in variants.items():
-            cycles = [estimate_cycles(p, platform)[0] for p in app_profiles]
-            results[app][name] = geometric_mean([c / b for c, b in zip(cycles, base) if b > 0])
+        for j, name in enumerate(names):
+            results[app][name] = geometric_mean(
+                [c / b for c, b in zip(cycles[:, j], base) if b > 0]
+            )
     return {"per_app": results, "paper": TABLE11_PAPER}
 
 
@@ -257,17 +294,24 @@ def table12_performance(profiles: Optional[ProfileSet] = None) -> Dict:
             name=lambda combo: f"capstan-{combo['memory'].value}",
         )
     )
+    names = list(platforms)
+    cycles_by_app = _batched_app_cycles(profiles, profiles.apps(), platforms)
+    baseline_column = names.index("capstan-hbm2e")
     per_app: Dict[str, Dict[str, float]] = {}
     for app in profiles.apps():
         app_profiles = profiles.for_app(app)
+        cycles = cycles_by_app[app]
         per_app[app] = {}
-        base_seconds = [
-            _capstan_seconds(p, platforms["capstan-hbm2e"]) for p in app_profiles
-        ]
-        for name, platform in platforms.items():
-            seconds = [_capstan_seconds(p, platform) for p in app_profiles]
+        seconds_by_name = {
+            name: [
+                c / (platforms[name].config.clock_ghz * 1e9) for c in cycles[:, j]
+            ]
+            for j, name in enumerate(names)
+        }
+        base_seconds = seconds_by_name[names[baseline_column]]
+        for name in names:
             per_app[app][name] = geometric_mean(
-                [s / b for s, b in zip(seconds, base_seconds) if b > 0]
+                [s / b for s, b in zip(seconds_by_name[name], base_seconds) if b > 0]
             )
         # Plasticine (only for mappable apps), GPU, and CPU.
         if app in plasticine.PLASTICINE_MAPPABLE_APPS:

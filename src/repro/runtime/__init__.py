@@ -14,7 +14,10 @@ the evaluation harnesses (:mod:`repro.eval`). It owns four concerns:
   results and deterministic ordering;
 * :mod:`repro.runtime.sweep` -- a declarative generator for the
   :class:`~repro.apps.timing.CapstanPlatform` variants the sensitivity
-  studies cost profiles under.
+  studies cost profiles under;
+* :mod:`repro.runtime.dse` -- design-space exploration: batched costing of
+  whole configuration grids (including structural axes) with Pareto-frontier
+  extraction over cycles and area.
 """
 
 from .registry import (
@@ -28,11 +31,22 @@ from .registry import (
     register_app,
     registered_specs,
 )
-from .cache import ProfileCache, code_fingerprint, profile_from_dict, profile_to_dict
+from .cache import (
+    ProfileCache,
+    ThroughputStore,
+    code_fingerprint,
+    profile_from_dict,
+    profile_to_dict,
+)
+from .dse import DSEResult, explore, pareto_frontier
 from .runner import ExperimentRunner, RunReport, TaskResult
 from .sweep import sweep
 
 __all__ = [
+    "DSEResult",
+    "ThroughputStore",
+    "explore",
+    "pareto_frontier",
     "AppSpec",
     "RegistryError",
     "RunContext",

@@ -1,10 +1,10 @@
-"""Content-addressed on-disk cache for workload profiles.
+"""Content-addressed on-disk caches for profiles and SpMU throughputs.
 
 Collecting the evaluation's profiles means functionally executing eleven
 application variants on three datasets each -- by far the most expensive
 part of regenerating any table or figure. Profiles are deterministic given
-(application, dataset, run context, code), so this module caches them on
-disk keyed by exactly that content:
+(application, dataset, run context, code), so :class:`ProfileCache` caches
+them on disk keyed by exactly that content:
 
 * the application and dataset names,
 * the :class:`~repro.runtime.registry.RunContext` fingerprint (scale,
@@ -13,11 +13,20 @@ disk keyed by exactly that content:
   under ``repro`` except the eval/runtime harness layers), so editing any
   model or application invalidates stale entries automatically.
 
-Entries are JSON files (one per profile) written atomically; a corrupt,
+:class:`ThroughputStore` applies the same machinery to the stochastic SpMU
+random-access microbenchmark behind
+:func:`~repro.core.spmu.effective_bank_throughput`: the measured
+throughput is deterministic given the full SpMU configuration and the
+simulator code, so persisting it keyed by that content lets design-space
+sweeps skip re-simulating every (ordering, mapping, allocator, structure,
+lanes) point in every fresh process.
+
+Entries are JSON files (one per record) written atomically; a corrupt,
 truncated, or version-skewed entry reads as a miss, never as an error.
 
-Set ``REPRO_PROFILE_CACHE`` to relocate the cache directory and
-``REPRO_PROFILE_CACHE_DISABLE=1`` to turn caching off entirely.
+Set ``REPRO_PROFILE_CACHE`` / ``REPRO_THROUGHPUT_CACHE`` to relocate the
+cache directories and ``REPRO_PROFILE_CACHE_DISABLE=1`` /
+``REPRO_THROUGHPUT_CACHE_DISABLE=1`` to turn either cache off entirely.
 """
 
 from __future__ import annotations
@@ -36,6 +45,9 @@ from .registry import RunContext
 #: Bump when the serialized profile layout changes incompatibly.
 CACHE_VERSION = 1
 
+#: Bump when the serialized throughput layout changes incompatibly.
+THROUGHPUT_CACHE_VERSION = 1
+
 #: Package subdirectories excluded from the code fingerprint: they consume
 #: profiles but cannot change what a functional run produces.
 _FINGERPRINT_EXCLUDED = ("eval", "runtime", "__pycache__")
@@ -52,6 +64,19 @@ def default_cache_dir() -> Path:
     if override:
         return Path(override)
     return Path.home() / ".cache" / "repro" / "profiles"
+
+
+def throughput_store_enabled() -> bool:
+    """Whether the on-disk throughput store is enabled (kill switch honored)."""
+    return os.environ.get("REPRO_THROUGHPUT_CACHE_DISABLE", "") not in ("1", "true", "yes")
+
+
+def default_throughput_dir() -> Path:
+    """The store root: ``$REPRO_THROUGHPUT_CACHE`` or ``~/.cache/repro/throughput``."""
+    override = os.environ.get("REPRO_THROUGHPUT_CACHE")
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro" / "throughput"
 
 
 _CODE_FINGERPRINT: Optional[str] = None
@@ -72,6 +97,22 @@ def code_fingerprint(refresh: bool = False) -> str:
         digest.update(path.read_bytes())
     _CODE_FINGERPRINT = digest.hexdigest()
     return _CODE_FINGERPRINT
+
+
+def _write_json_atomic(root: Path, path: Path, payload: Dict[str, Any]) -> None:
+    """Write one JSON entry atomically (write-to-temp, then rename)."""
+    root.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=root, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
 
 def _json_default(value: Any):
@@ -164,23 +205,12 @@ class ProfileCache:
 
     def store(self, key: str, profile: WorkloadProfile) -> None:
         """Write one profile atomically (write-to-temp, then rename)."""
-        self.root.mkdir(parents=True, exist_ok=True)
         payload = {
             "version": CACHE_VERSION,
             "code": code_fingerprint(),
             "profile": profile_to_dict(profile),
         }
-        fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(payload, handle)
-            os.replace(tmp_name, self._path(key))
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        _write_json_atomic(self.root, self._path(key), payload)
         self.stores += 1
 
     def clear(self) -> int:
@@ -219,6 +249,100 @@ class ProfileCache:
             except (OSError, ValueError, AttributeError):
                 stale = True
             if stale:
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))
+
+
+class ThroughputStore:
+    """Content-addressed store for SpMU microbenchmark throughputs.
+
+    One entry per (ordering, bank mapping, allocator, SpMU structure,
+    lanes, code) combination; the code fingerprint shares
+    :func:`code_fingerprint`, so any edit to the simulator (or anything
+    else that could change a measurement) orphans stale entries.
+
+    Attributes:
+        root: Directory holding one ``<key>.json`` file per measurement.
+        hits / misses / stores: Per-instance access statistics.
+    """
+
+    def __init__(self, root: Optional[Path] = None):
+        self.root = Path(root) if root is not None else default_throughput_dir()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def key(
+        self,
+        *,
+        ordering: Any,
+        bank_mapping: str,
+        allocator_kind: str,
+        config: Any,
+        lanes: int,
+        fingerprint: Optional[str] = None,
+    ) -> str:
+        """Store key for one microbenchmark configuration.
+
+        Args:
+            ordering: :class:`~repro.core.ordering.OrderingMode` (or any
+                enum with a ``value``).
+            bank_mapping / allocator_kind / lanes: Remaining SpMU knobs.
+            config: The :class:`~repro.config.SpMUConfig` dataclass.
+            fingerprint: Code-fingerprint override (testing).
+        """
+        material = {
+            "version": THROUGHPUT_CACHE_VERSION,
+            "ordering": getattr(ordering, "value", str(ordering)),
+            "bank_mapping": bank_mapping,
+            "allocator_kind": allocator_kind,
+            "config": dataclasses.asdict(config),
+            "lanes": lanes,
+            "code": fingerprint if fingerprint is not None else code_fingerprint(),
+        }
+        encoded = json.dumps(material, sort_keys=True).encode()
+        return hashlib.sha256(encoded).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def load(self, key: str) -> Optional[float]:
+        """Read one persisted throughput; any malformed entry is a miss."""
+        try:
+            payload = json.loads(self._path(key).read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if not isinstance(payload, dict) or payload.get("version") != THROUGHPUT_CACHE_VERSION:
+            self.misses += 1
+            return None
+        value = payload.get("throughput")
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return float(value)
+
+    def store(self, key: str, throughput: float) -> None:
+        """Persist one measurement atomically."""
+        payload = {"version": THROUGHPUT_CACHE_VERSION, "throughput": float(throughput)}
+        _write_json_atomic(self.root, self._path(key), payload)
+        self.stores += 1
+
+    def clear(self) -> int:
+        """Delete every entry (and stray temp files); returns the count."""
+        removed = 0
+        if self.root.is_dir():
+            for path in list(self.root.glob("*.json")) + list(self.root.glob("*.tmp")):
                 try:
                     path.unlink()
                     removed += 1

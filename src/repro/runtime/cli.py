@@ -2,12 +2,17 @@
 
 Runs the registered (application x dataset) grid through
 :class:`~repro.runtime.runner.ExperimentRunner` -- parallel and cached --
-and prints the per-task report. Typical uses::
+and prints the per-task report. The ``dse`` subcommand instead costs the
+grid over a family of platform variants through
+:func:`~repro.runtime.dse.explore` and reports the cycles-vs-area Pareto
+frontier. Typical uses::
 
     repro-eval --list                      # show the registered grid
     repro-eval --scale 1/256              # quick full-grid collection
     repro-eval --apps spmv-csr,bfs -j 4   # a subset, four workers
     repro-eval --no-cache --json out.json # cold run, machine-readable report
+    repro-eval dse --axis lanes=8,16,32 --axis banks=8,16,32
+    repro-eval dse --axis memory=hbm2e,ddr4 --apps bfs,sssp --pareto-only
 """
 
 from __future__ import annotations
@@ -15,10 +20,13 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from ..config import MemoryTechnology, ShuffleMode
+from ..core.ordering import OrderingMode
 from ..errors import CapstanError
 from .cache import ProfileCache, default_cache_dir, profile_to_dict
+from .dse import explore
 from .registry import RunContext, app_datasets, app_order
 from .runner import ExperimentRunner
 
@@ -86,7 +94,206 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parse_bool(text: str) -> bool:
+    lowered = text.strip().lower()
+    if lowered in ("1", "true", "yes"):
+        return True
+    if lowered in ("0", "false", "no"):
+        return False
+    raise ValueError(f"not a boolean: {text!r}")
+
+
+def _parse_choice(*allowed: str) -> Callable[[str], str]:
+    def parse(text: str) -> str:
+        if text not in allowed:
+            raise ValueError(f"expected one of {', '.join(allowed)}, got {text!r}")
+        return text
+
+    return parse
+
+
+#: Value parser per DSE axis name.
+_AXIS_VALUE_PARSERS: Dict[str, Callable[[str], Any]] = {
+    "ordering": OrderingMode,
+    "memory": MemoryTechnology,
+    "shuffle": ShuffleMode,
+    "ideal_sram": _parse_bool,
+    "lanes": int,
+    "banks": int,
+    "compute_units": int,
+    "queue_depth": int,
+    "crossbar_inputs": int,
+    "bank_mapping": _parse_choice("hash", "linear"),
+    "allocator": _parse_choice("separable", "greedy", "arbitrated"),
+}
+
+
+def _parse_axis(text: str) -> Tuple[str, List[Any]]:
+    """Parse one ``--axis name=v1,v2,...`` specification."""
+    axis, separator, raw = text.partition("=")
+    axis = axis.strip()
+    if not separator or not raw.strip():
+        raise ValueError(f"expected NAME=V1[,V2,...], got {text!r}")
+    parser = _AXIS_VALUE_PARSERS.get(axis)
+    if parser is None:
+        known = ", ".join(sorted(_AXIS_VALUE_PARSERS))
+        raise ValueError(f"unknown axis {axis!r}; known: {known}")
+    try:
+        values = [parser(value.strip()) for value in raw.split(",") if value.strip()]
+    except ValueError as exc:
+        raise ValueError(f"bad value for axis {axis!r}: {exc}") from None
+    return axis, values
+
+
+def build_dse_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-eval dse",
+        description=(
+            "Design-space exploration: cost the evaluation grid over a family "
+            "of platform variants (batched) and report the cycles-vs-area "
+            "Pareto frontier."
+        ),
+    )
+    parser.add_argument(
+        "--axis",
+        action="append",
+        default=[],
+        metavar="NAME=V1,V2[,...]",
+        help=(
+            "one swept axis (repeatable); known axes: "
+            + ", ".join(sorted(_AXIS_VALUE_PARSERS))
+            + ". Default: lanes=8,16,32 banks=8,16,32"
+        ),
+    )
+    parser.add_argument(
+        "--apps", help="comma-separated application names (default: all registered)"
+    )
+    parser.add_argument(
+        "--scale",
+        type=_parse_scale,
+        default=1.0 / 64.0,
+        help="dataset scale, e.g. 1/64 or 0.015625 (default: 1/64)",
+    )
+    parser.add_argument(
+        "--pagerank-iterations", type=int, default=2, help="power iterations per PageRank run"
+    )
+    parser.add_argument(
+        "--conv-scale", type=_parse_scale, default=0.125, help="ResNet channel scale"
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("vectorized", "reference"),
+        default="vectorized",
+        help="profiling-kernel backend",
+    )
+    parser.add_argument(
+        "-j", "--workers", type=int, default=None,
+        help="process-pool size for profile collection",
+    )
+    parser.add_argument("--no-cache", action="store_true", help="bypass the on-disk profile cache")
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=f"profile cache directory (default: {default_cache_dir()})",
+    )
+    parser.add_argument(
+        "--pareto-only", action="store_true", help="print only the Pareto-frontier variants"
+    )
+    parser.add_argument(
+        "--top", type=int, default=0, metavar="N",
+        help="print only the N best variants by gmean cycles (0 = all)",
+    )
+    parser.add_argument("--json", default=None, help="also write the full cost grid here")
+    return parser
+
+
+def _dse_main(argv: List[str]) -> int:
+    parser = build_dse_parser()
+    args = parser.parse_args(argv)
+
+    axes: Dict[str, List[Any]] = {}
+    try:
+        for spec in args.axis:
+            axis, values = _parse_axis(spec)
+            if axis in axes:
+                raise ValueError(
+                    f"axis {axis!r} given more than once; list all its values in one --axis"
+                )
+            axes[axis] = values
+    except ValueError as exc:
+        parser.error(str(exc))
+    if not axes:
+        axes = {"lanes": [8, 16, 32], "banks": [8, 16, 32]}
+
+    apps = [name.strip() for name in args.apps.split(",") if name.strip()] if args.apps else None
+    unknown = set(apps or ()) - set(app_order())
+    if unknown:
+        print(f"unknown applications: {', '.join(sorted(unknown))}", file=sys.stderr)
+        return 2
+
+    cache: object
+    if args.no_cache:
+        cache = False
+    elif args.cache_dir is not None:
+        cache = ProfileCache(root=args.cache_dir)
+    else:
+        cache = True
+
+    context = RunContext(
+        scale=args.scale,
+        pagerank_iterations=args.pagerank_iterations,
+        conv_scale=args.conv_scale,
+        backend=args.backend,
+    )
+    try:
+        result = explore(apps=apps, context=context, workers=args.workers, cache=cache, **axes)
+    except CapstanError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    rows = sorted(result.rows(), key=lambda row: row["gmean_cycles"])
+    if args.pareto_only:
+        rows = [row for row in rows if row["pareto"]]
+    if args.top > 0:
+        rows = rows[: args.top]
+
+    axis_summary = ", ".join(f"{axis}={len(values)}" for axis, values in axes.items())
+    print(
+        f"DSE: {len(result.variants)} variants ({axis_summary}) x "
+        f"{len(result.tasks)} profiles (scale={args.scale:g})"
+    )
+    name_width = max(len(row["name"]) for row in rows) if rows else 4
+    print(f"  {'variant':<{name_width}}  {'gmean cycles':>13}  {'area mm^2':>9}  pareto")
+    for row in rows:
+        marker = "*" if row["pareto"] else ""
+        print(
+            f"  {row['name']:<{name_width}}  {row['gmean_cycles']:>13.4g}  "
+            f"{row['area_mm2']:>9.1f}  {marker}"
+        )
+    frontier = result.frontier()
+    print(f"Pareto frontier ({len(frontier)}): {', '.join(frontier)}")
+
+    if args.json:
+        payload = {
+            "scale": args.scale,
+            "axes": {
+                axis: [getattr(v, "value", v) for v in values] for axis, values in axes.items()
+            },
+            "tasks": [{"app": app, "dataset": dataset} for app, dataset in result.tasks],
+            "variants": result.rows(),
+            "frontier": list(frontier),
+            "cycles": [[float(c) for c in row] for row in result.cycles],
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "dse":
+        return _dse_main(argv[1:])
     args = build_parser().parse_args(argv)
 
     if args.list:

@@ -1,0 +1,156 @@
+"""Design-space exploration: batched costing over configuration grids.
+
+The paper evaluates one fixed Capstan design point and studies sensitivity
+along one axis at a time (Tables 9-12). This module opens the configuration
+space as a first-class object: :func:`explore` generates a platform grid
+from :func:`~repro.runtime.sweep.sweep` axes -- including the structural
+axes ``lanes`` / ``banks`` / ``compute_units`` / ``queue_depth`` --
+collects workload profiles through the cached
+:class:`~repro.runtime.runner.ExperimentRunner`, costs the whole
+(profile x variant) matrix in one
+:func:`~repro.apps.timing.estimate_cycles_batch` call, attaches the area
+model from :mod:`repro.core.area`, and extracts the cycles-vs-area Pareto
+frontier. ``repro-eval dse`` drives it from the command line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..apps.profile import WorkloadProfile
+from ..apps.timing import BatchCostResult, CapstanPlatform, estimate_cycles_batch
+from ..core.area import capstan_area
+from ..errors import ConfigurationError
+from ..sim.stats import geometric_mean
+from .cache import ProfileCache
+from .registry import RunContext
+from .runner import ExperimentRunner
+from .sweep import sweep
+
+
+def pareto_frontier(costs: np.ndarray) -> np.ndarray:
+    """Indices of the non-dominated rows of a (points x objectives) matrix.
+
+    All objectives are minimized. A point is dominated when some other
+    point is no worse in every objective and strictly better in at least
+    one; ties (duplicated points) are all kept. Indices come back in input
+    order.
+    """
+    costs = np.asarray(costs, dtype=np.float64)
+    if costs.ndim != 2:
+        raise ConfigurationError("costs must be a 2-D (points x objectives) array")
+    points = costs.shape[0]
+    keep = np.ones(points, dtype=bool)
+    for i in range(points):
+        dominators = np.all(costs <= costs[i], axis=1) & np.any(costs < costs[i], axis=1)
+        if np.any(dominators):
+            keep[i] = False
+    return np.nonzero(keep)[0]
+
+
+@dataclass
+class DSEResult:
+    """Cost/area grid of one design-space exploration.
+
+    Attributes:
+        variants: The swept platforms by variant name, in sweep order.
+        tasks: The ``(app, dataset)`` coordinates of each profile row.
+        batch: The full per-cell costing (cycles and stall categories).
+        area_mm2: Modelled chip area per variant.
+        gmean_cycles: Geometric-mean cycles over all profiles per variant.
+    """
+
+    variants: Dict[str, CapstanPlatform]
+    tasks: List[Tuple[str, str]]
+    batch: BatchCostResult
+    area_mm2: np.ndarray
+    gmean_cycles: np.ndarray
+    _frontier: Optional[Tuple[str, ...]] = field(default=None, repr=False)
+
+    @property
+    def names(self) -> List[str]:
+        """Variant names in sweep order."""
+        return list(self.variants)
+
+    @property
+    def cycles(self) -> np.ndarray:
+        """Per-cell cycles, shape ``(len(tasks), len(variants))``."""
+        return self.batch.cycles
+
+    def frontier(self) -> Tuple[str, ...]:
+        """Variant names on the (gmean cycles, area) Pareto frontier."""
+        if self._frontier is None:
+            costs = np.column_stack([self.gmean_cycles, self.area_mm2])
+            names = self.names
+            self._frontier = tuple(names[i] for i in pareto_frontier(costs))
+        return self._frontier
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """One report row per variant: name, gmean cycles, area, frontier flag."""
+        on_frontier = set(self.frontier())
+        return [
+            {
+                "name": name,
+                "gmean_cycles": float(self.gmean_cycles[j]),
+                "area_mm2": float(self.area_mm2[j]),
+                "pareto": name in on_frontier,
+            }
+            for j, name in enumerate(self.names)
+        ]
+
+
+def explore(
+    *,
+    base: Optional[CapstanPlatform] = None,
+    name: Optional[Callable[[Dict[str, Any]], str]] = None,
+    profiles: Optional[Sequence[WorkloadProfile]] = None,
+    apps: Optional[Sequence[str]] = None,
+    context: Optional[RunContext] = None,
+    workers: Optional[int] = None,
+    cache: Union[ProfileCache, bool, None] = True,
+    **axes: Iterable[Any],
+) -> DSEResult:
+    """Cost the evaluation workloads over a configuration grid.
+
+    Args:
+        base: Platform the variants derive from (default design point).
+        name: Optional variant-labelling callable (see :func:`sweep`).
+        profiles: Pre-collected profiles to cost; when ``None``, the
+            registered applications are collected through the cached
+            :class:`ExperimentRunner`.
+        apps: Application subset to collect (ignored when ``profiles`` is
+            given).
+        context: Run parameters for profile collection (scale etc.).
+        workers / cache: Forwarded to the :class:`ExperimentRunner`.
+        **axes: Sweep axes, e.g. ``lanes=(8, 16, 32), banks=(8, 16)``.
+
+    Returns:
+        A :class:`DSEResult` with the cost grid, areas, and Pareto frontier.
+    """
+    variants = sweep(base, name=name, **axes)
+    for platform in variants.values():
+        platform.config.validate()
+    if profiles is None:
+        runner = ExperimentRunner(context=context or RunContext(), workers=workers, cache=cache)
+        report = runner.run(apps=list(apps) if apps is not None else None)
+        succeeded = [r for r in report.results if r.profile is not None]
+        tasks = [(r.app, r.dataset) for r in succeeded]
+        collected = [r.profile for r in succeeded]
+    else:
+        collected = list(profiles)
+        tasks = [(p.app, p.dataset) for p in collected]
+    batch = estimate_cycles_batch(collected, list(variants.values()))
+    area_mm2 = np.array([capstan_area(v.config).total_mm2 for v in variants.values()])
+    gmean_cycles = np.array(
+        [geometric_mean([float(c) for c in batch.cycles[:, j]]) for j in range(len(variants))]
+    )
+    return DSEResult(
+        variants=variants,
+        tasks=tasks,
+        batch=batch,
+        area_mm2=area_mm2,
+        gmean_cycles=gmean_cycles,
+    )

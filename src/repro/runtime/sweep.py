@@ -15,7 +15,11 @@ given. Supported axes:
 * ``bank_mapping`` / ``allocator`` / ``ideal_sram`` -- SpMU variants
   (Table 9);
 * ``memory`` -- :class:`~repro.config.MemoryTechnology` (Table 12);
-* ``shuffle`` -- :class:`~repro.config.ShuffleMode` (Table 11).
+* ``shuffle`` -- :class:`~repro.config.ShuffleMode` (Table 11);
+* ``lanes`` / ``compute_units`` -- structural
+  :class:`~repro.config.CapstanConfig` fields (design-space exploration);
+* ``banks`` / ``queue_depth`` / ``crossbar_inputs`` -- structural
+  :class:`~repro.config.SpMUConfig` fields (design-space exploration).
 """
 
 from __future__ import annotations
@@ -27,14 +31,42 @@ from typing import Any, Callable, Dict, Iterable, Optional
 
 from ..apps.timing import CapstanPlatform
 from ..config import MemoryTechnology, ShuffleMode
+from ..core.ordering import OrderingMode
 from ..errors import ConfigurationError
 
 #: Axes applied by replacing a CapstanPlatform field directly.
 _PLATFORM_FIELDS = ("ordering", "bank_mapping", "allocator", "ideal_sram")
 
+#: Legal values per string/bool platform field. A typo here would otherwise
+#: be costed silently (the timing model coerces unknown allocators to
+#: "greedy") or crash deep inside the bank mapper.
+_PLATFORM_FIELD_VALUES = {
+    "bank_mapping": ("hash", "linear"),
+    "allocator": ("separable", "greedy", "arbitrated"),
+    "ideal_sram": (True, False),
+}
+
+#: Axes applied by replacing a structural CapstanConfig field.
+_CONFIG_FIELDS = ("lanes", "compute_units")
+
+#: Axes applied by replacing a structural SpMUConfig field.
+_SPMU_FIELDS = ("banks", "queue_depth", "crossbar_inputs")
+
+#: Every supported axis name, for error messages.
+KNOWN_AXES = _PLATFORM_FIELDS + ("memory", "shuffle") + _CONFIG_FIELDS + _SPMU_FIELDS
+
 
 def _apply_axis(platform: CapstanPlatform, axis: str, value: Any) -> CapstanPlatform:
     if axis in _PLATFORM_FIELDS:
+        if axis == "ordering":
+            if not isinstance(value, OrderingMode):
+                raise ConfigurationError(f"ordering axis takes OrderingMode, got {value!r}")
+        else:
+            allowed = _PLATFORM_FIELD_VALUES[axis]
+            if value not in allowed:
+                raise ConfigurationError(
+                    f"{axis} axis takes one of {allowed}, got {value!r}"
+                )
         return replace(platform, **{axis: value})
     if axis == "memory":
         if not isinstance(value, MemoryTechnology):
@@ -44,9 +76,14 @@ def _apply_axis(platform: CapstanPlatform, axis: str, value: Any) -> CapstanPlat
         if not isinstance(value, ShuffleMode):
             raise ConfigurationError(f"shuffle axis takes ShuffleMode, got {value!r}")
         return replace(platform, config=platform.config.with_shuffle_mode(value))
-    raise ConfigurationError(
-        f"unknown sweep axis {axis!r}; known: {', '.join(_PLATFORM_FIELDS + ('memory', 'shuffle'))}"
-    )
+    if axis in _CONFIG_FIELDS or axis in _SPMU_FIELDS:
+        if not isinstance(value, int) or isinstance(value, bool) or value <= 0:
+            raise ConfigurationError(f"{axis} axis takes positive integers, got {value!r}")
+        if axis in _CONFIG_FIELDS:
+            return replace(platform, config=replace(platform.config, **{axis: value}))
+        spmu = replace(platform.config.spmu, **{axis: value})
+        return replace(platform, config=replace(platform.config, spmu=spmu))
+    raise ConfigurationError(f"unknown sweep axis {axis!r}; known: {', '.join(KNOWN_AXES)}")
 
 
 def _default_name(combo: Dict[str, Any]) -> str:
