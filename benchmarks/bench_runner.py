@@ -5,15 +5,18 @@ cold serial, warm cache, cold parallel, cache-disabled serial, and the
 per-element ``reference`` profiling backend (the pre-vectorization
 behaviour) -- plus the platform-costing layer (the per-call
 ``estimate_cycles`` loop against ``estimate_cycles_batch`` over a
-128-variant design-space grid), and writes ``BENCH_runner.json`` at the
-repository root to track the performance trajectory.
+128-variant design-space grid) and the SpMU simulator layer (the reference
+per-cycle loop against the lock-step array engine over a cold 128-variant
+microbenchmark grid), and writes ``BENCH_runner.json`` at the repository
+root to track the performance trajectory.
 
-With ``--baseline`` the run additionally compares its cold vectorized time
-and batched costing time against a committed record and fails (exit code 1)
-when either regressed by more than ``--max-slowdown`` (the CI
-``bench-smoke`` job's contract). The costing record is also gated
-unconditionally: the batched path must be bit-identical to the scalar loop
-and at least ``--min-batch-speedup`` times faster.
+With ``--baseline`` the run additionally compares its cold vectorized time,
+batched costing time, and array SpMU grid time against a committed record
+and fails (exit code 1) when any regressed by more than ``--max-slowdown``
+(the CI ``bench-smoke`` job's contract). The costing and SpMU records are
+also gated unconditionally: each batched path must be bit-identical to its
+reference and at least ``--min-batch-speedup`` / ``--min-spmu-speedup``
+times faster.
 
 Usage::
 
@@ -25,6 +28,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import itertools
 import json
 import os
 import sys
@@ -33,8 +37,10 @@ import time
 from pathlib import Path
 
 from repro.apps.timing import estimate_cycles, estimate_cycles_batch
-from repro.config import MemoryTechnology, ShuffleMode
+from repro.config import MemoryTechnology, ShuffleMode, SpMUConfig
 from repro.core.ordering import OrderingMode
+from repro.core.spmu import effective_bank_throughput_batch
+from repro.core.spmu_array import SpMUVariant
 from repro.eval.experiments import collect_profiles
 from repro.runtime.cache import ProfileCache
 from repro.runtime.cli import _parse_scale
@@ -97,6 +103,73 @@ def _timed_batch(profiles, platforms) -> float:
     return time.perf_counter() - start
 
 
+def _bench_spmu() -> dict:
+    """Time the cold 128-variant SpMU microbenchmark grid on both backends.
+
+    The grid crosses the paper's Table 4 structural axes (queue depth,
+    crossbar size, allocator priorities) with the Table 9/10 policy axes
+    (ordering, bank mapping, allocator kind). The reference side runs the
+    original per-cycle object loop variant by variant; the array side runs
+    one lock-step :func:`effective_bank_throughput_batch` pass. Both are
+    cold: the persistent throughput store is disabled and the in-process
+    memo cleared, so the numbers measure simulation, not caching -- and the
+    resulting throughputs must be bit-identical.
+    """
+    import repro.core.spmu as spmu_module
+
+    variants = [
+        SpMUVariant(
+            ordering=ordering,
+            bank_mapping=mapping,
+            allocator_kind=allocator,
+            config=SpMUConfig(
+                queue_depth=depth,
+                crossbar_inputs=crossbar,
+                allocator_priorities=priorities,
+            ),
+        )
+        for ordering, mapping, allocator, depth, crossbar, priorities in itertools.product(
+            list(OrderingMode),
+            ("hash", "linear"),
+            ("separable", "greedy"),
+            (8, 16),
+            (16, 32),
+            (1, 3),
+        )
+    ]
+    saved_disable = os.environ.get("REPRO_THROUGHPUT_CACHE_DISABLE")
+    os.environ["REPRO_THROUGHPUT_CACHE_DISABLE"] = "1"
+    try:
+        array_s = reference_s = float("inf")
+        array_values = reference_values = None
+        for _ in range(2):  # best-of-2, like the costing benchmark
+            spmu_module._THROUGHPUT_CACHE.clear()
+            start = time.perf_counter()
+            array_values = effective_bank_throughput_batch(variants)
+            array_s = min(array_s, time.perf_counter() - start)
+            start = time.perf_counter()
+            reference_values = effective_bank_throughput_batch(
+                variants, backend="reference"
+            )
+            reference_s = min(reference_s, time.perf_counter() - start)
+    finally:
+        spmu_module._THROUGHPUT_CACHE.clear()
+        if saved_disable is None:
+            del os.environ["REPRO_THROUGHPUT_CACHE_DISABLE"]
+        else:
+            os.environ["REPRO_THROUGHPUT_CACHE_DISABLE"] = saved_disable
+    return {
+        "variants": len(variants),
+        "vectors": spmu_module._THROUGHPUT_VECTORS,
+        "reference_s": round(reference_s, 3),
+        "array_s": round(array_s, 3),
+        "speedup": round(reference_s / array_s, 1),
+        "identical": bool(
+            all(a == r for a, r in zip(array_values, reference_values))
+        ),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scale", default="1/16", help="dataset scale (default 1/16)")
@@ -127,6 +200,20 @@ def main(argv=None) -> int:
         type=float,
         default=5.0,
         help="fail when batched costing is not this much faster than the scalar loop",
+    )
+    parser.add_argument(
+        "--no-spmu",
+        action="store_true",
+        help="skip the SpMU microbenchmark-grid benchmark",
+    )
+    parser.add_argument(
+        "--min-spmu-speedup",
+        type=float,
+        default=6.0,
+        help=(
+            "fail when the array SpMU backend is not this much faster than the "
+            "reference loop over the cold 128-variant grid"
+        ),
     )
     parser.add_argument(
         "--output",
@@ -188,10 +275,30 @@ def main(argv=None) -> int:
         profiles = [profile_set.profiles[key] for key in sorted(profile_set.profiles)]
         costing = _bench_costing(profiles)
         record["costing"] = costing
+    spmu = None
+    if not args.no_spmu:
+        spmu = _bench_spmu()
+        record["spmu"] = spmu
     Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
     print(json.dumps(record, indent=2))
 
     failed = False
+    if spmu is not None:
+        if not spmu["identical"]:
+            print(
+                "REGRESSION: the array SpMU backend's throughputs diverged from "
+                "the reference simulator",
+                file=sys.stderr,
+            )
+            failed = True
+        if spmu["speedup"] < args.min_spmu_speedup:
+            print(
+                f"REGRESSION: SpMU grid speedup {spmu['speedup']}x is below the "
+                f"required {args.min_spmu_speedup}x "
+                f"({spmu['reference_s']}s reference vs {spmu['array_s']}s array)",
+                file=sys.stderr,
+            )
+            failed = True
     if costing is not None:
         if not costing["identical"]:
             print(
@@ -223,6 +330,21 @@ def main(argv=None) -> int:
                 f"baseline check ok: {cold_serial_s:.3f}s <= {budget:.3f}s "
                 f"({args.max_slowdown}x of {baseline['cold_serial_s']}s)"
             )
+        baseline_spmu = baseline.get("spmu")
+        if spmu is not None and baseline_spmu is not None:
+            spmu_budget = baseline_spmu["array_s"] * args.max_slowdown
+            if spmu["array_s"] > spmu_budget:
+                print(
+                    f"REGRESSION: SpMU array grid {spmu['array_s']:.3f}s exceeds "
+                    f"{args.max_slowdown}x the baseline ({baseline_spmu['array_s']}s)",
+                    file=sys.stderr,
+                )
+                failed = True
+            else:
+                print(
+                    f"spmu check ok: {spmu['array_s']:.3f}s <= {spmu_budget:.3f}s "
+                    f"({args.max_slowdown}x of {baseline_spmu['array_s']}s)"
+                )
         baseline_costing = baseline.get("costing")
         if costing is not None and baseline_costing is not None:
             costing_budget = baseline_costing["batch_s"] * args.max_slowdown

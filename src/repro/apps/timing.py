@@ -32,7 +32,11 @@ import numpy as np
 
 from ..config import CapstanConfig, MemoryTechnology, ShuffleConfig, ShuffleMode
 from ..core.ordering import OrderingMode
-from ..core.spmu import effective_bank_throughput
+from ..core.spmu import (
+    SpMUVariant,
+    effective_bank_throughput,
+    effective_bank_throughput_batch,
+)
 from ..core.shuffle import merge_efficiency
 from ..sim.dram import (
     BURST_BYTES,
@@ -156,19 +160,36 @@ def _dram_for(memory: MemoryTechnology, clock_ghz: float) -> DRAMModel:
     return dram
 
 
-def _platform_throughput(platform: CapstanPlatform) -> float:
-    """Calibrated SpMU request throughput for one platform (Table 9 inputs)."""
+def platform_throughput_variant(platform: CapstanPlatform) -> SpMUVariant:
+    """The SpMU microbenchmark point that calibrates one platform's SRAM.
+
+    Encodes the Table 9 column semantics: the ``"arbitrated"`` allocator
+    column is modelled as the arbitrated ordering mode, and any
+    non-separable allocator maps to the weak greedy allocator.
+    """
     allocator_kind = "separable" if platform.allocator == "separable" else "greedy"
     if platform.allocator == "arbitrated":
         ordering_for_tput = OrderingMode.ARBITRATED
     else:
         ordering_for_tput = platform.ordering
-    throughput = effective_bank_throughput(
+    return SpMUVariant(
         ordering=ordering_for_tput,
         bank_mapping=platform.bank_mapping,
         allocator_kind=allocator_kind,
         config=platform.config.spmu,
         lanes=platform.config.lanes,
+    )
+
+
+def _platform_throughput(platform: CapstanPlatform) -> float:
+    """Calibrated SpMU request throughput for one platform (Table 9 inputs)."""
+    variant = platform_throughput_variant(platform)
+    throughput = effective_bank_throughput(
+        ordering=variant.ordering,
+        bank_mapping=variant.bank_mapping,
+        allocator_kind=variant.allocator_kind,
+        config=variant.config,
+        lanes=variant.lanes,
     )
     return max(throughput, 1.0)
 
@@ -380,10 +401,17 @@ def estimate_cycles_batch(
     linear_mapping = brow([p.bank_mapping == "linear" for p in platforms])
     compression = brow([p.config.compression_enabled for p in platforms])
     # Calibrated SpMU throughput per platform (1.0 placeholder when the
-    # scalar model would never consult it).
-    throughput = frow(
-        [1.0 if p.ideal_sram else _platform_throughput(p) for p in platforms]
-    )
+    # scalar model would never consult it), resolved in one batched call so
+    # a cold sweep simulates all of its SpMU variants in a single lock-step
+    # pass and one ThroughputStore transaction.
+    needs_throughput = [not p.ideal_sram for p in platforms]
+    throughput_values = np.ones(n_platforms)
+    if any(needs_throughput):
+        batched = effective_bank_throughput_batch(
+            [platform_throughput_variant(p) for p, need in zip(platforms, needs_throughput) if need]
+        )
+        throughput_values[needs_throughput] = np.maximum(batched, 1.0)
+    throughput = throughput_values.reshape(1, n_platforms)
     # DRAM denominators: the scalar model divides by (peak * efficiency).
     drams = [_dram_for(p.config.memory, p.config.clock_ghz) for p in platforms]
     stream_denominator = frow(

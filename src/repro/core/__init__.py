@@ -52,12 +52,16 @@ from .spmu import (
     MemoryRequest,
     RMWOp,
     RequestResult,
+    RequestTrace,
     SparseMemoryUnit,
     SpMUStats,
     effective_bank_throughput,
+    effective_bank_throughput_batch,
     measure_bank_utilization,
+    random_request_trace,
     random_request_vectors,
 )
+from .spmu_array import SpMUVariant, simulate_variants
 
 __all__ = [
     "AllocationResult",
@@ -108,9 +112,14 @@ __all__ = [
     "MemoryRequest",
     "RMWOp",
     "RequestResult",
+    "RequestTrace",
     "SparseMemoryUnit",
     "SpMUStats",
+    "SpMUVariant",
+    "simulate_variants",
     "random_request_vectors",
+    "random_request_trace",
     "measure_bank_utilization",
     "effective_bank_throughput",
+    "effective_bank_throughput_batch",
 ]

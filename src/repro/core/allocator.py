@@ -95,6 +95,11 @@ class SeparableAllocator:
         """Number of SRAM banks."""
         return self._banks
 
+    @property
+    def age_cutoffs(self) -> List[int]:
+        """Per-iteration queue-slot age cutoffs (oldest-first priorities)."""
+        return list(self._age_cutoffs)
+
     def _compute_age_cutoffs(self) -> List[int]:
         """Queue-slot cutoffs for each allocation iteration.
 

@@ -54,6 +54,17 @@ def linear_banks_array(addresses: np.ndarray, banks: int) -> np.ndarray:
 
 BankMapper = Callable[[int, int], int]
 
+ArrayBankMapper = Callable[[np.ndarray, int], np.ndarray]
+
+
+def get_bank_mapper_array(name: str) -> ArrayBankMapper:
+    """Look up the vectorized bank mapper by name: ``"hash"`` or ``"linear"``."""
+    if name == "hash":
+        return hashed_banks_array
+    if name == "linear":
+        return linear_banks_array
+    raise ValueError(f"unknown bank mapping scheme {name!r}")
+
 
 def get_bank_mapper(name: str) -> BankMapper:
     """Look up a bank mapper by name: ``"hash"`` or ``"linear"``."""

@@ -47,11 +47,11 @@ def figure4_ordering_trace(vectors: int = 120, seed: int = 7) -> Dict:
         ("fully-ordered", OrderingMode.FULLY_ORDERED),
         ("arbitrated", OrderingMode.ARBITRATED),
     ):
-        unit = SparseMemoryUnit(SpMUConfig(), ordering=mode)
+        unit = SparseMemoryUnit(SpMUConfig(), ordering=mode, record_trace=True)
         stats = unit.simulate(random_request_vectors(vectors, seed=seed))
         results[name] = 100.0 * stats.bank_utilization
         if name == "unordered":
-            trace_excerpt = stats.per_cycle_active_banks[:15]
+            trace_excerpt = [int(banks) for banks in stats.per_cycle_active_banks[:15]]
     return {
         "measured_utilization_pct": results,
         "paper_utilization_pct": FIGURE4_PAPER_UTILIZATION,

@@ -38,7 +38,7 @@ from .cache import (
     profile_from_dict,
     profile_to_dict,
 )
-from .dse import DSEResult, explore, pareto_frontier
+from .dse import DSEResult, explore, pareto_frontier, prefill_throughputs
 from .runner import ExperimentRunner, RunReport, TaskResult
 from .sweep import sweep
 
@@ -47,6 +47,7 @@ __all__ = [
     "ThroughputStore",
     "explore",
     "pareto_frontier",
+    "prefill_throughputs",
     "AppSpec",
     "RegistryError",
     "RunContext",

@@ -37,7 +37,7 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Sequence
 
 from ..apps.profile import WorkloadProfile
 from .registry import RunContext
@@ -337,6 +337,32 @@ class ThroughputStore:
         payload = {"version": THROUGHPUT_CACHE_VERSION, "throughput": float(throughput)}
         _write_json_atomic(self.root, self._path(key), payload)
         self.stores += 1
+
+    def load_many(self, keys: Sequence[str]) -> Dict[str, float]:
+        """Load a batch of measurements (one entry file read per key).
+
+        Returns only the keys that hit; absent or malformed entries are
+        simply missing from the result (and counted as misses). This is a
+        convenience batch over :meth:`load` -- the store is one JSON file
+        per entry, so the batch shape buys a single call site, not fewer
+        I/O operations.
+        """
+        found: Dict[str, float] = {}
+        for key in keys:
+            value = self.load(key)
+            if value is not None:
+                found[key] = value
+        return found
+
+    def store_many(self, measurements: Dict[str, float]) -> None:
+        """Persist a batch of measurements (one atomic write per entry).
+
+        Each entry is written atomically (write-to-temp then rename), so a
+        concurrent sweep prefilling the same keys can only ever race to
+        identical content.
+        """
+        for key, value in measurements.items():
+            self.store(key, value)
 
     def clear(self) -> int:
         """Delete every entry (and stray temp files); returns the count."""

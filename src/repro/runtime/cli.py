@@ -26,7 +26,7 @@ from ..config import MemoryTechnology, ShuffleMode
 from ..core.ordering import OrderingMode
 from ..errors import CapstanError
 from .cache import ProfileCache, default_cache_dir, profile_to_dict
-from .dse import explore
+from .dse import explore, prefill_throughputs
 from .registry import RunContext, app_datasets, app_order
 from .runner import ExperimentRunner
 
@@ -197,6 +197,19 @@ def build_dse_parser() -> argparse.ArgumentParser:
         help=f"profile cache directory (default: {default_cache_dir()})",
     )
     parser.add_argument(
+        "--prefill",
+        action="store_true",
+        help=(
+            "warm the SpMU throughput store for every swept variant in one "
+            "batched pass before costing (parallel sweeps then start warm)"
+        ),
+    )
+    parser.add_argument(
+        "--prefill-only",
+        action="store_true",
+        help="prefill the SpMU throughput store for the sweep, then exit",
+    )
+    parser.add_argument(
         "--pareto-only", action="store_true", help="print only the Pareto-frontier variants"
     )
     parser.add_argument(
@@ -238,6 +251,21 @@ def _dse_main(argv: List[str]) -> int:
         cache = ProfileCache(root=args.cache_dir)
     else:
         cache = True
+
+    if args.prefill or args.prefill_only:
+        from .sweep import sweep
+
+        try:
+            variants = sweep(**axes)
+            for platform in variants.values():
+                platform.config.validate()
+            resolved = prefill_throughputs(variants.values())
+        except CapstanError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(f"prefilled SpMU throughputs for {resolved} distinct variants")
+        if args.prefill_only:
+            return 0
 
     context = RunContext(
         scale=args.scale,

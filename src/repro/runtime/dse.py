@@ -21,14 +21,42 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tupl
 import numpy as np
 
 from ..apps.profile import WorkloadProfile
-from ..apps.timing import BatchCostResult, CapstanPlatform, estimate_cycles_batch
+from ..apps.timing import (
+    BatchCostResult,
+    CapstanPlatform,
+    estimate_cycles_batch,
+    platform_throughput_variant,
+)
 from ..core.area import capstan_area
+from ..core.spmu import effective_bank_throughput_batch
 from ..errors import ConfigurationError
 from ..sim.stats import geometric_mean
 from .cache import ProfileCache
 from .registry import RunContext
 from .runner import ExperimentRunner
 from .sweep import sweep
+
+
+def prefill_throughputs(platforms: Iterable[CapstanPlatform]) -> int:
+    """Warm the SpMU throughput caches for a family of platforms.
+
+    Deduplicates the platforms' calibration microbenchmarks, simulates
+    every cold one in a single batched lock-step pass, and persists the
+    results with one :class:`~repro.runtime.cache.ThroughputStore`
+    transaction. Running this before launching parallel sweeps (``repro-eval
+    dse --prefill``) means the workers find every microbenchmark warm
+    instead of racing to re-simulate the same cold variants.
+
+    Returns:
+        The number of distinct SpMU variants resolved (warm or cold).
+    """
+    variants = {
+        platform_throughput_variant(p) for p in platforms if not p.ideal_sram
+    }
+    if not variants:
+        return 0
+    effective_bank_throughput_batch(sorted(variants, key=repr))
+    return len(variants)
 
 
 def pareto_frontier(costs: np.ndarray) -> np.ndarray:
