@@ -10,12 +10,18 @@ per-cycle loop against the lock-step array engine over a cold 128-variant
 microbenchmark grid), and writes ``BENCH_runner.json`` at the repository
 root to track the performance trajectory.
 
+It also times the format substrate (the packed-word scan/convert/construct
+grid: ``scan_batch`` against the element-at-a-time scan loop, the batched
+``convert_many`` against its tile loop, and the vectorized bit-tree build
+against the ``set()`` loop), recorded under ``formats``.
+
 With ``--baseline`` the run additionally compares its cold vectorized time,
-batched costing time, and array SpMU grid time against a committed record
-and fails (exit code 1) when any regressed by more than ``--max-slowdown``
-(the CI ``bench-smoke`` job's contract). The costing and SpMU records are
-also gated unconditionally: each batched path must be bit-identical to its
-reference and at least ``--min-batch-speedup`` / ``--min-spmu-speedup``
+batched costing time, array SpMU grid time, and format-substrate batch time
+against a committed record and fails (exit code 1) when any regressed by
+more than ``--max-slowdown`` (the CI ``bench-smoke`` job's contract). The
+costing, SpMU, and formats records are also gated unconditionally: each
+batched path must be bit-identical to its reference and at least
+``--min-batch-speedup`` / ``--min-spmu-speedup`` / ``--min-formats-speedup``
 times faster.
 
 Usage::
@@ -35,6 +41,8 @@ import sys
 import tempfile
 import time
 from pathlib import Path
+
+import numpy as np
 
 from repro.apps.timing import estimate_cycles, estimate_cycles_batch
 from repro.config import MemoryTechnology, ShuffleMode, SpMUConfig
@@ -101,6 +109,126 @@ def _timed_batch(profiles, platforms) -> float:
     start = time.perf_counter()
     estimate_cycles_batch(profiles, platforms)
     return time.perf_counter() - start
+
+
+def _bench_formats() -> dict:
+    """Time the format-substrate batch paths against the retained references.
+
+    Three axes, mirroring the substrate's consumers:
+
+    * ``scan`` -- :meth:`BitVectorScanner.scan_batch` against the
+      element-at-a-time ``scan_reference`` loop, across densities and all
+      three scan modes;
+    * ``convert`` -- the batched :meth:`FormatConverter.convert_many`
+      against the tile-at-a-time reference loop;
+    * ``construct`` -- the vectorized :meth:`BitTree.from_indices` build
+      against the object-at-a-time ``set()`` loop.
+
+    Every batch result is checked element-for-element against its
+    reference before timing is reported; ``identical`` covers all axes.
+    """
+    from repro.core.format_conversion import FormatConverter
+    from repro.core.scanner import BitVectorScanner, ScanMode
+    from repro.formats.bittree import BitTree
+    from repro.formats.reference import bittree_from_indices_reference
+    from repro.workloads.synthetic import sparse_bitvector
+
+    identical = True
+
+    # --- scan axis: density x mode grid of 4096-bit operand pairs -------- #
+    scanner = BitVectorScanner()
+    scan_cases = []
+    for density in (0.01, 0.05, 0.2):
+        for seed in range(4):
+            a = sparse_bitvector(4096, density, seed=seed)
+            b = sparse_bitvector(4096, density, seed=seed + 100)
+            for mode in (ScanMode.INTERSECT, ScanMode.UNION, ScanMode.SINGLE):
+                scan_cases.append((a, None if mode is ScanMode.SINGLE else b, mode))
+    for a, b, mode in scan_cases:
+        if scanner.scan_batch(a, b, mode).elements() != scanner.scan_reference(a, b, mode):
+            identical = False
+
+    def _scan_batch():
+        for a, b, mode in scan_cases:
+            scanner.scan_batch(a, b, mode)
+
+    def _scan_reference():
+        for a, b, mode in scan_cases:
+            scanner.scan_reference(a, b, mode)
+
+    # --- convert axis: 128 pointer tiles into 4096-bit bit-vectors ------- #
+    converter = FormatConverter(lanes=16, word_bits=32)
+    rng = np.random.default_rng(3)
+    tiles = [
+        np.sort(rng.choice(4096, size=48, replace=False))
+        for _ in range(128)
+    ]
+    fast_vectors, fast_stats = converter.convert_many(4096, tiles)
+    ref_vectors, ref_stats = converter.convert_many_reference(4096, tiles)
+    if fast_stats != ref_stats or any(
+        f != r for f, r in zip(fast_vectors, ref_vectors)
+    ):
+        identical = False
+
+    def _convert_batch():
+        converter.convert_many(4096, tiles)
+
+    def _convert_reference():
+        converter.convert_many_reference(4096, tiles)
+
+    # --- construct axis: 65536-bit bit-trees across densities ------------ #
+    construct_cases = []
+    for density in (0.002, 0.01, 0.05):
+        vector = sparse_bitvector(65536, density, seed=9)
+        construct_cases.append((vector.indices, vector.values))
+    for indices, values in construct_cases:
+        fast = BitTree.from_indices(65536, indices, values)
+        reference = bittree_from_indices_reference(65536, indices, values)
+        if not (
+            np.array_equal(fast.indices(), reference.indices())
+            and np.array_equal(fast.words, reference.words)
+            and np.array_equal(fast.values(), reference.values())
+        ):
+            identical = False
+
+    def _construct_batch():
+        for indices, values in construct_cases:
+            BitTree.from_indices(65536, indices, values)
+
+    def _construct_reference():
+        for indices, values in construct_cases:
+            bittree_from_indices_reference(65536, indices, values)
+
+    def _best_of(fn, repeats=2):
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    axes = {
+        "scan": (_scan_batch, _scan_reference),
+        "convert": (_convert_batch, _convert_reference),
+        "construct": (_construct_batch, _construct_reference),
+    }
+    record: dict = {"identical": identical}
+    batch_total = 0.0
+    reference_total = 0.0
+    for name, (batch_fn, reference_fn) in axes.items():
+        batch_s = _best_of(batch_fn)
+        reference_s = _best_of(reference_fn)
+        batch_total += batch_s
+        reference_total += reference_s
+        record[name] = {
+            "batch_s": round(batch_s, 4),
+            "reference_s": round(reference_s, 4),
+            "speedup": round(reference_s / batch_s, 1),
+        }
+    record["batch_s"] = round(batch_total, 4)
+    record["reference_s"] = round(reference_total, 4)
+    record["speedup"] = round(reference_total / batch_total, 1)
+    return record
 
 
 def _bench_spmu() -> dict:
@@ -207,6 +335,20 @@ def main(argv=None) -> int:
         help="skip the SpMU microbenchmark-grid benchmark",
     )
     parser.add_argument(
+        "--no-formats",
+        action="store_true",
+        help="skip the format-substrate (scan/convert/construct) benchmark",
+    )
+    parser.add_argument(
+        "--min-formats-speedup",
+        type=float,
+        default=3.0,
+        help=(
+            "fail when the format-substrate batch paths are not this much "
+            "faster than the retained object-at-a-time references"
+        ),
+    )
+    parser.add_argument(
         "--min-spmu-speedup",
         type=float,
         default=6.0,
@@ -279,10 +421,30 @@ def main(argv=None) -> int:
     if not args.no_spmu:
         spmu = _bench_spmu()
         record["spmu"] = spmu
+    formats = None
+    if not args.no_formats:
+        formats = _bench_formats()
+        record["formats"] = formats
     Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
     print(json.dumps(record, indent=2))
 
     failed = False
+    if formats is not None:
+        if not formats["identical"]:
+            print(
+                "REGRESSION: a format-substrate batch path diverged from its "
+                "object-at-a-time reference",
+                file=sys.stderr,
+            )
+            failed = True
+        if formats["speedup"] < args.min_formats_speedup:
+            print(
+                f"REGRESSION: format-substrate speedup {formats['speedup']}x is "
+                f"below the required {args.min_formats_speedup}x "
+                f"({formats['reference_s']}s reference vs {formats['batch_s']}s batch)",
+                file=sys.stderr,
+            )
+            failed = True
     if spmu is not None:
         if not spmu["identical"]:
             print(
@@ -344,6 +506,23 @@ def main(argv=None) -> int:
                 print(
                     f"spmu check ok: {spmu['array_s']:.3f}s <= {spmu_budget:.3f}s "
                     f"({args.max_slowdown}x of {baseline_spmu['array_s']}s)"
+                )
+        baseline_formats = baseline.get("formats")
+        if formats is not None and baseline_formats is not None:
+            formats_budget = baseline_formats["batch_s"] * args.max_slowdown
+            if formats["batch_s"] > formats_budget:
+                print(
+                    f"REGRESSION: format-substrate batch {formats['batch_s']:.4f}s "
+                    f"exceeds {args.max_slowdown}x the baseline "
+                    f"({baseline_formats['batch_s']}s)",
+                    file=sys.stderr,
+                )
+                failed = True
+            else:
+                print(
+                    f"formats check ok: {formats['batch_s']:.4f}s <= "
+                    f"{formats_budget:.4f}s ({args.max_slowdown}x of "
+                    f"{baseline_formats['batch_s']}s)"
                 )
         baseline_costing = baseline.get("costing")
         if costing is not None and baseline_costing is not None:

@@ -22,13 +22,15 @@ Equivalence with the hardware model is asserted by property-based tests in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
 from ..config import ScannerConfig
-from ..core.scanner import ScanMode
+from ..core.scanner import ScanMode, timing_from_indices
 from ..errors import SimulationError
+from ..formats.bittree import BitTree
+from ..formats.bitvector import BitVector
 
 #: Second-level tile size used by the bit-tree format.
 BITTREE_TILE_BITS = 512
@@ -71,24 +73,20 @@ def zero_cost() -> ScanCost:
 def _chunk_cycles(
     set_indices: np.ndarray, space_length: int, config: ScannerConfig
 ) -> ScanCost:
-    """Cycle cost of scanning a space of ``space_length`` bits densely."""
+    """Cycle cost of scanning a space of ``space_length`` bits densely.
+
+    Delegates to the scanner's shared vectorized accounting core
+    (:func:`repro.core.scanner.timing_from_indices`) so the application
+    model and the hardware model count cycles through one code path.
+    """
     if space_length <= 0:
         return _ZERO
-    width = config.bit_width
-    out = config.output_vectorization
-    chunks = (space_length + width - 1) // width
-    if set_indices.size == 0:
-        return ScanCost(cycles=chunks, empty_cycles=chunks, elements=0, chunks=chunks)
-    counts = np.bincount(set_indices // width, minlength=chunks)
-    occupied = counts > 0
-    per_chunk_cycles = np.where(occupied, (counts + out - 1) // out, 1)
-    cycles = int(per_chunk_cycles.sum())
-    empty = int(np.count_nonzero(~occupied))
+    timing = timing_from_indices(set_indices, space_length, config)
     return ScanCost(
-        cycles=cycles,
-        empty_cycles=empty,
-        elements=int(set_indices.size),
-        chunks=int(chunks),
+        cycles=timing.cycles,
+        empty_cycles=timing.empty_chunks,
+        elements=timing.elements,
+        chunks=timing.bit_chunks,
     )
 
 
@@ -369,6 +367,48 @@ def scan_cost_growing_unions(
         elements=elements,
         chunks=total_steps * chunks_per_row,
     )
+
+
+SparseOperand = Union[BitVector, BitTree]
+
+
+def _operand_indices(operand: SparseOperand) -> Tuple[np.ndarray, int]:
+    """Set-bit positions and logical length of a bit-vector or bit-tree."""
+    if isinstance(operand, BitTree):
+        return operand.indices(), operand.length
+    return operand.indices, operand.length
+
+
+def scan_cost_operands(
+    operand_a: SparseOperand,
+    operand_b: Optional[SparseOperand] = None,
+    mode: ScanMode = ScanMode.UNION,
+    config: Optional[ScannerConfig] = None,
+) -> ScanCost:
+    """Scanner cost directly from bit-vector / bit-tree operands.
+
+    Bit-tree operands use the two-level traversal (top-level scan plus
+    occupied 512-bit tiles); mixed operand kinds are rejected because the
+    hardware streams both inputs through one scanner configuration.
+    """
+    bittree = isinstance(operand_a, BitTree)
+    if operand_b is not None and isinstance(operand_b, BitTree) != bittree:
+        raise SimulationError("scan operands must share a format")
+    for operand in (operand_a, operand_b):
+        if isinstance(operand, BitTree) and operand.tile_bits != BITTREE_TILE_BITS:
+            raise SimulationError(
+                f"the scan model assumes {BITTREE_TILE_BITS}-bit tiles, "
+                f"got {operand.tile_bits}"
+            )
+    indices_a, length_a = _operand_indices(operand_a)
+    if operand_b is None:
+        return scan_cost_single(indices_a, length_a, config, bittree)
+    indices_b, length_b = _operand_indices(operand_b)
+    if length_a != length_b:
+        raise SimulationError(
+            f"scan operands must have equal length: {length_a} vs {length_b}"
+        )
+    return scan_cost_pair(indices_a, indices_b, length_a, mode, config, bittree)
 
 
 def data_scan_cost(values_nonzero: int, total_values: int, config: Optional[ScannerConfig] = None) -> ScanCost:

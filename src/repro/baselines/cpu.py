@@ -22,9 +22,9 @@ from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
-from scipy import sparse as sp
 
 from ..apps.profile import WorkloadProfile
+from ..formats.convert import to_scipy_csr
 from ..sim.stats import RunMetrics
 
 
@@ -99,26 +99,19 @@ def run_metrics(profile: WorkloadProfile, platform: Optional[CPUPlatform] = None
 
 def reference_spmv_csr(matrix, vector: np.ndarray) -> np.ndarray:
     """scipy CSR SpMV, the TACO-equivalent reference."""
-    rows, cols, values = matrix.to_coo_arrays()
-    scipy_matrix = sp.coo_matrix((values, (rows, cols)), shape=matrix.shape).tocsr()
-    return scipy_matrix @ np.asarray(vector, dtype=np.float64)
+    return to_scipy_csr(matrix) @ np.asarray(vector, dtype=np.float64)
 
 
 def reference_spmspm(matrix_a, matrix_b) -> np.ndarray:
     """scipy sparse-sparse matrix product reference."""
-    ra, ca, va = matrix_a.to_coo_arrays()
-    rb, cb, vb = matrix_b.to_coo_arrays()
-    a = sp.coo_matrix((va, (ra, ca)), shape=matrix_a.shape).tocsr()
-    b = sp.coo_matrix((vb, (rb, cb)), shape=matrix_b.shape).tocsr()
-    return np.asarray((a @ b).todense())
+    return np.asarray((to_scipy_csr(matrix_a) @ to_scipy_csr(matrix_b)).todense())
 
 
 def reference_bicgstab(matrix, rhs: np.ndarray, tolerance: float = 1e-8):
     """scipy BiCGStab reference returning (solution, info)."""
     from scipy.sparse.linalg import bicgstab as scipy_bicgstab
 
-    rows, cols, values = matrix.to_coo_arrays()
-    a = sp.coo_matrix((values, (rows, cols)), shape=matrix.shape).tocsr()
+    a = to_scipy_csr(matrix)
     try:
         return scipy_bicgstab(a, rhs, rtol=tolerance)
     except TypeError:  # older scipy uses `tol`

@@ -42,10 +42,13 @@ from .ordering import OrderingMode
 from .scanner import (
     BitVectorScanner,
     DataScanner,
+    ScanBatch,
     ScanElement,
     ScanMode,
     ScanTiming,
     scan_timing_from_mask,
+    scan_timing_from_mask_reference,
+    timing_from_indices,
 )
 from .shuffle import MergeUnit, ShuffleNetwork, ShuffleRequest, ShuffleStats, merge_efficiency
 from .spmu import (
@@ -103,7 +106,10 @@ __all__ = [
     "ScanMode",
     "ScanElement",
     "ScanTiming",
+    "ScanBatch",
     "scan_timing_from_mask",
+    "scan_timing_from_mask_reference",
+    "timing_from_indices",
     "MergeUnit",
     "ShuffleNetwork",
     "ShuffleRequest",

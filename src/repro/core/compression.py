@@ -188,15 +188,14 @@ def compression_ratio(values: np.ndarray) -> float:
 
 
 def estimate_app_compression(pointer_arrays: List[np.ndarray]) -> CompressionReport:
-    """Aggregate compression across all of an application's pointer streams."""
-    original = 0
-    compressed = 0
-    packets = 0
-    for array in pointer_arrays:
-        _, report = compress_pointer_array(array)
-        original += report.original_bytes
-        compressed += report.compressed_bytes
-        packets += report.packets
+    """Aggregate compression across all of an application's pointer streams.
+
+    Uses the report-only vectorized path per stream -- no packets are
+    materialized, only the sizes the DRAM traffic model needs.
+    """
+    reports = [compression_report(array) for array in pointer_arrays]
     return CompressionReport(
-        original_bytes=original, compressed_bytes=compressed, packets=packets
+        original_bytes=sum(r.original_bytes for r in reports),
+        compressed_bytes=sum(r.compressed_bytes for r in reports),
+        packets=sum(r.packets for r in reports),
     )

@@ -17,6 +17,14 @@ This module provides both a *functional* scan (produce all iteration tuples
 for correctness) and a *timing* scan (how many cycles the hardware needs to
 stream a pair of bit-vectors through a scanner of a given configuration),
 which together drive the applications and the Figure 6 sensitivity study.
+
+Both are array-native: :meth:`BitVectorScanner.scan_batch` combines the
+operands' packed occupancy words and returns a columnar :class:`ScanBatch`
+(dense index / ordinal / compressed index arrays), and all cycle accounting
+is a bincount over set-bit positions. The element-at-a-time paths are
+retained (:meth:`BitVectorScanner.scan_reference`,
+:func:`scan_timing_from_mask_reference`) so property tests can pin the two
+representations tuple for tuple.
 """
 
 from __future__ import annotations
@@ -29,6 +37,7 @@ import numpy as np
 
 from ..config import ScannerConfig
 from ..errors import SimulationError
+from ..formats import packed
 from ..formats.bitvector import BitVector
 
 
@@ -57,6 +66,44 @@ class ScanElement:
     ordinal: int
     index_a: int
     index_b: int
+
+
+@dataclass(frozen=True)
+class ScanBatch:
+    """All iteration tuples of one scan, in columnar array form.
+
+    The hardware emits scan outputs as vectors, not scalars; this is the
+    software mirror: four aligned arrays instead of a list of per-element
+    objects. :meth:`elements` converts to the legacy representation.
+
+    Attributes:
+        dense_index: Dense positions ``j`` in ascending order.
+        ordinal: Running counters ``j'`` (``0..n-1``).
+        index_a: Compressed indices into operand A (``-1`` where absent).
+        index_b: Compressed indices into operand B (``-1`` where absent).
+    """
+
+    dense_index: np.ndarray
+    ordinal: np.ndarray
+    index_a: np.ndarray
+    index_b: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.dense_index.size)
+
+    def elements(self) -> List[ScanElement]:
+        """The batch as the legacy list of :class:`ScanElement` tuples."""
+        return [
+            ScanElement(
+                dense_index=dense, ordinal=ordinal, index_a=a, index_b=b
+            )
+            for dense, ordinal, a, b in zip(
+                self.dense_index.tolist(),
+                self.ordinal.tolist(),
+                self.index_a.tolist(),
+                self.index_b.tolist(),
+            )
+        ]
 
 
 @dataclass(frozen=True)
@@ -97,6 +144,31 @@ class BitVectorScanner:
         """The scanner's width/vectorization configuration."""
         return self._config
 
+    def scan_batch(
+        self,
+        vector_a: BitVector,
+        vector_b: Optional[BitVector] = None,
+        mode: ScanMode = ScanMode.INTERSECT,
+    ) -> ScanBatch:
+        """Produce all iteration tuples of a sparse loop as a columnar batch.
+
+        Args:
+            vector_a: First operand.
+            vector_b: Second operand; required unless ``mode`` is ``SINGLE``.
+            mode: Intersection, union, or single-operand scan.
+
+        Returns:
+            A :class:`ScanBatch` ordered by dense index, exactly the values
+            a nested ``Foreach(Scan(...))`` loop body would observe.
+        """
+        combined, index_a, index_b = self._combine_arrays(vector_a, vector_b, mode)
+        return ScanBatch(
+            dense_index=combined,
+            ordinal=np.arange(combined.size, dtype=np.int64),
+            index_a=index_a,
+            index_b=index_b,
+        )
+
     def scan(
         self,
         vector_a: BitVector,
@@ -105,16 +177,21 @@ class BitVectorScanner:
     ) -> List[ScanElement]:
         """Produce the full list of iteration tuples for a sparse loop.
 
-        Args:
-            vector_a: First operand.
-            vector_b: Second operand; required unless ``mode`` is ``SINGLE``.
-            mode: Intersection, union, or single-operand scan.
-
-        Returns:
-            Iteration tuples ordered by dense index, exactly the values a
-            nested ``Foreach(Scan(...))`` loop body would observe.
+        A compatibility view over :meth:`scan_batch`: the same tuples, as a
+        list of per-element objects.
         """
-        mask, a_positions, b_positions = self._combine(vector_a, vector_b, mode)
+        return self.scan_batch(vector_a, vector_b, mode).elements()
+
+    def scan_reference(
+        self,
+        vector_a: BitVector,
+        vector_b: Optional[BitVector] = None,
+        mode: ScanMode = ScanMode.INTERSECT,
+    ) -> List[ScanElement]:
+        """The retained element-at-a-time scan loop (equivalence reference)."""
+        mask, a_positions, b_positions = self._combine_reference(
+            vector_a, vector_b, mode
+        )
         elements: List[ScanElement] = []
         set_bits = np.nonzero(mask)[0]
         for ordinal, dense_index in enumerate(set_bits.tolist()):
@@ -139,8 +216,14 @@ class BitVectorScanner:
         The hardware writes this count into the counter chain in the first
         cycle so one scanner can feed multiple counter levels.
         """
-        mask, _, _ = self._combine(vector_a, vector_b, mode)
-        return int(np.count_nonzero(mask))
+        self._check_operands(vector_a, vector_b, mode)
+        if mode is ScanMode.SINGLE or vector_b is None:
+            return vector_a.nnz
+        if mode is ScanMode.INTERSECT:
+            return int(
+                packed.popcount(vector_a._packed() & vector_b._packed()).sum()
+            )
+        return int(packed.popcount(vector_a._packed() | vector_b._packed()).sum())
 
     def timing(
         self,
@@ -155,16 +238,92 @@ class BitVectorScanner:
         a chunk with more set bits than the output width occupies multiple
         cycles, and an all-zero chunk still costs one cycle.
         """
-        mask, _, _ = self._combine(vector_a, vector_b, mode)
-        return scan_timing_from_mask(mask, self._config)
+        combined = self._combined_indices(vector_a, vector_b, mode)
+        return timing_from_indices(combined, vector_a.length, self._config)
 
-    def _combine(
+    def _check_operands(
+        self,
+        vector_a: BitVector,
+        vector_b: Optional[BitVector],
+        mode: ScanMode,
+    ) -> None:
+        if mode is ScanMode.SINGLE or vector_b is None:
+            if mode is not ScanMode.SINGLE and vector_b is None:
+                raise SimulationError("two-operand scan requires vector_b")
+            return
+        if vector_a.length != vector_b.length:
+            raise SimulationError(
+                f"scan operands must have equal length: "
+                f"{vector_a.length} vs {vector_b.length}"
+            )
+        if mode not in (ScanMode.INTERSECT, ScanMode.UNION):
+            raise SimulationError(f"unsupported scan mode {mode}")
+
+    def _combined_indices(
+        self,
+        vector_a: BitVector,
+        vector_b: Optional[BitVector],
+        mode: ScanMode,
+    ) -> np.ndarray:
+        """Combined set-bit positions only (the timing/count fast path)."""
+        self._check_operands(vector_a, vector_b, mode)
+        a_indices = vector_a._sorted_indices()
+        if mode is ScanMode.SINGLE or vector_b is None:
+            return a_indices
+        if mode is ScanMode.INTERSECT:
+            if a_indices.size == 0:
+                return a_indices
+            return a_indices[packed.test_bits(vector_b._packed(), a_indices)]
+        return np.union1d(a_indices, vector_b._sorted_indices())
+
+    def _combine_arrays(
         self,
         vector_a: BitVector,
         vector_b: Optional[BitVector],
         mode: ScanMode,
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Return the combined mask and per-position compressed indices."""
+        """Combined set-bit positions and per-element compressed indices."""
+        self._check_operands(vector_a, vector_b, mode)
+        a_indices = vector_a._sorted_indices()
+        if mode is ScanMode.SINGLE or vector_b is None:
+            return (
+                a_indices.copy(),
+                np.arange(a_indices.size, dtype=np.int64),
+                np.full(a_indices.size, -1, dtype=np.int64),
+            )
+        b_indices = vector_b._sorted_indices()
+        if mode is ScanMode.INTERSECT:
+            # Membership via the packed substrate: test A's set bits
+            # against B's occupancy words.
+            if vector_a.length:
+                in_b = packed.test_bits(vector_b._packed(), a_indices)
+            else:
+                in_b = np.zeros(0, dtype=bool)
+            combined = a_indices[in_b]
+            index_a = np.flatnonzero(in_b).astype(np.int64)
+            index_b = np.searchsorted(b_indices, combined).astype(np.int64)
+            return combined, index_a, index_b
+        combined = np.union1d(a_indices, b_indices)
+        if vector_a.length:
+            in_a = packed.test_bits(vector_a._packed(), combined)
+            in_b = packed.test_bits(vector_b._packed(), combined)
+        else:
+            in_a = in_b = np.zeros(0, dtype=bool)
+        index_a = np.where(
+            in_a, np.searchsorted(a_indices, combined), -1
+        ).astype(np.int64)
+        index_b = np.where(
+            in_b, np.searchsorted(b_indices, combined), -1
+        ).astype(np.int64)
+        return combined, index_a, index_b
+
+    def _combine_reference(
+        self,
+        vector_a: BitVector,
+        vector_b: Optional[BitVector],
+        mode: ScanMode,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The retained mask/prefix-sum combination (equivalence reference)."""
         if mode is ScanMode.SINGLE or vector_b is None:
             if mode is not ScanMode.SINGLE and vector_b is None:
                 raise SimulationError("two-operand scan requires vector_b")
@@ -213,11 +372,25 @@ class DataScanner:
         if array.ndim != 1:
             raise SimulationError("data scanner operates on 1-D vectors")
         indices = np.nonzero(array)[0]
-        return [(int(i), float(array[i])) for i in indices.tolist()]
+        return list(zip(indices.tolist(), array[indices].tolist()))
 
     def timing_cycles(self, values: np.ndarray) -> int:
         """Cycles to scan ``values``: one per emitted non-zero, plus one per
         all-zero ``data_width`` chunk traversed."""
+        array = np.asarray(values, dtype=np.float64)
+        if array.ndim != 1:
+            raise SimulationError("data scanner operates on 1-D vectors")
+        width = self._config.data_width
+        if array.size == 0:
+            return 0
+        chunks = (array.size + width - 1) // width
+        counts = np.bincount(
+            np.nonzero(array)[0] // width, minlength=chunks
+        )
+        return int(np.maximum(counts, 1).sum())
+
+    def timing_cycles_reference(self, values: np.ndarray) -> int:
+        """The retained per-chunk loop (equivalence reference)."""
         array = np.asarray(values, dtype=np.float64)
         if array.ndim != 1:
             raise SimulationError("data scanner operates on 1-D vectors")
@@ -230,12 +403,57 @@ class DataScanner:
         return cycles
 
 
+def timing_from_indices(
+    set_indices: np.ndarray, space_length: int, config: ScannerConfig
+) -> ScanTiming:
+    """Scanner cycle accounting from combined set-bit positions.
+
+    The shared vectorized core behind :func:`scan_timing_from_mask`,
+    :meth:`BitVectorScanner.timing`, and the application scan model: one
+    bincount over ``set_indices // bit_width`` yields every chunk's
+    occupancy, from which cycles, output-limited cycles, and empty chunks
+    all follow. A zero-length space still streams one (empty) chunk,
+    matching the hardware's minimum one-cycle scan.
+    """
+    width = config.bit_width
+    out_width = config.output_vectorization
+    chunks = (max(space_length, 1) + width - 1) // width
+    positions = np.asarray(set_indices, dtype=np.int64)
+    if positions.size == 0:
+        return ScanTiming(
+            cycles=chunks,
+            elements=0,
+            bit_chunks=chunks,
+            output_limited_cycles=0,
+            empty_chunks=chunks,
+        )
+    counts = np.bincount(positions // width, minlength=chunks)
+    occupied = counts > 0
+    chunk_cycles = np.where(occupied, (counts + out_width - 1) // out_width, 1)
+    output_limited = int((chunk_cycles[occupied] - 1).sum())
+    return ScanTiming(
+        cycles=int(chunk_cycles.sum()),
+        elements=int(positions.size),
+        bit_chunks=int(chunks),
+        output_limited_cycles=output_limited,
+        empty_chunks=int(np.count_nonzero(~occupied)),
+    )
+
+
 def scan_timing_from_mask(mask: np.ndarray, config: ScannerConfig) -> ScanTiming:
     """Compute scanner cycle cost for a combined occupancy mask.
 
     This is shared by the bit-vector scanner and by application timing
     models that already have the combined mask in hand.
     """
+    mask = np.asarray(mask, dtype=bool)
+    return timing_from_indices(np.flatnonzero(mask), mask.size, config)
+
+
+def scan_timing_from_mask_reference(
+    mask: np.ndarray, config: ScannerConfig
+) -> ScanTiming:
+    """The retained per-chunk timing loop (equivalence reference)."""
     mask = np.asarray(mask, dtype=bool)
     width = config.bit_width
     out_width = config.output_vectorization

@@ -5,6 +5,7 @@ dense matrices/vectors, CSR, CSC, COO, DCSR/DCSC, BCSR, banded, packed
 bit-vectors, and two-level bit-trees, plus conversions and Matrix-Market I/O.
 """
 
+from . import packed
 from .base import SparseMatrixFormat
 from .bcsr import BCSRMatrix, BandedMatrix
 from .bittree import BitTree, align_trees
@@ -13,7 +14,9 @@ from .convert import (
     bittree_to_bitvector,
     bitvector_to_bittree,
     csc_col_as_bitvector,
+    csc_cols_as_bitvectors,
     csr_row_as_bitvector,
+    csr_rows_as_bitvectors,
     from_scipy,
     pointers_to_bitvector,
     to_coo,
@@ -58,6 +61,9 @@ __all__ = [
     "bittree_to_bitvector",
     "csr_row_as_bitvector",
     "csc_col_as_bitvector",
+    "csr_rows_as_bitvectors",
+    "csc_cols_as_bitvectors",
+    "packed",
     "read_matrix_market",
     "write_matrix_market",
     "roundtrip_matches",

@@ -35,8 +35,21 @@ class SparseMatrixFormat(abc.ABC):
         """Materialize the matrix as a dense float64 array."""
 
     @abc.abstractmethod
+    def to_coo_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(rows, cols, values)`` arrays of all stored entries.
+
+        This is every format's vectorized primitive; each implementation
+        produces the arrays directly from its compressed storage, in the
+        same entry order its former element-at-a-time iterator used.
+        """
+
     def iter_nonzeros(self) -> Iterator[Tuple[int, int, float]]:
-        """Yield ``(row, col, value)`` triplets for every stored entry."""
+        """Yield ``(row, col, value)`` triplets for every stored entry.
+
+        A thin compatibility wrapper over :meth:`to_coo_arrays`.
+        """
+        rows, cols, values = self.to_coo_arrays()
+        yield from zip(rows.tolist(), cols.tolist(), values.tolist())
 
     @property
     def density(self) -> float:
@@ -44,22 +57,6 @@ class SparseMatrixFormat(abc.ABC):
         rows, cols = self.shape
         total = rows * cols
         return self.nnz / total if total else 0.0
-
-    def to_coo_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Return ``(rows, cols, values)`` arrays of all stored entries."""
-        triples = list(self.iter_nonzeros())
-        if not triples:
-            return (
-                np.empty(0, dtype=np.int64),
-                np.empty(0, dtype=np.int64),
-                np.empty(0, dtype=np.float64),
-            )
-        rows, cols, values = zip(*triples)
-        return (
-            np.asarray(rows, dtype=np.int64),
-            np.asarray(cols, dtype=np.int64),
-            np.asarray(values, dtype=np.float64),
-        )
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, SparseMatrixFormat):

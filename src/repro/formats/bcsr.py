@@ -8,7 +8,7 @@ stencil discretizations.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -66,30 +66,20 @@ class BCSRMatrix(SparseMatrixFormat):
         if rows % block_size or cols % block_size:
             raise FormatError("matrix dimensions must be multiples of block_size")
         block_rows, block_cols = rows // block_size, cols // block_size
-        pointers: List[int] = [0]
-        indices: List[int] = []
-        blocks: List[np.ndarray] = []
-        for br in range(block_rows):
-            for bc in range(block_cols):
-                block = array[
-                    br * block_size : (br + 1) * block_size,
-                    bc * block_size : (bc + 1) * block_size,
-                ]
-                if np.any(block):
-                    indices.append(bc)
-                    blocks.append(block.copy())
-            pointers.append(len(indices))
-        block_array = (
-            np.stack(blocks)
-            if blocks
-            else np.empty((0, block_size, block_size), dtype=np.float64)
-        )
+        # One reshape exposes every block as tiled[br, bc]; occupancy and
+        # extraction are then pure fancy indexing.
+        tiled = array.reshape(block_rows, block_size, block_cols, block_size)
+        tiled = tiled.transpose(0, 2, 1, 3)
+        occupied = np.any(tiled, axis=(2, 3))
+        block_r, block_c = np.nonzero(occupied)
+        pointers = np.zeros(block_rows + 1, dtype=np.int64)
+        np.add.at(pointers, block_r + 1, 1)
         return cls(
             (rows, cols),
             block_size,
-            np.asarray(pointers, dtype=np.int64),
-            np.asarray(indices, dtype=np.int64),
-            block_array,
+            np.cumsum(pointers),
+            block_c.astype(np.int64),
+            tiled[block_r, block_c].copy(),
         )
 
     @property
@@ -120,27 +110,31 @@ class BCSRMatrix(SparseMatrixFormat):
         stored = self.stored_elements
         return self.nnz / stored if stored else 0.0
 
-    def to_dense(self) -> np.ndarray:
-        dense = np.zeros(self._shape, dtype=np.float64)
-        block_idx = 0
-        block_rows = self._shape[0] // self._block_size
-        for br in range(block_rows):
-            start = self._block_row_pointers[br]
-            end = self._block_row_pointers[br + 1]
-            for slot in range(start, end):
-                bc = int(self._block_col_indices[slot])
-                dense[
-                    br * self._block_size : (br + 1) * self._block_size,
-                    bc * self._block_size : (bc + 1) * self._block_size,
-                ] = self._blocks[slot]
-                block_idx += 1
-        return dense
+    def _block_rows_of_slots(self) -> np.ndarray:
+        """Block-row id of every stored block slot."""
+        return np.repeat(
+            np.arange(self._block_row_pointers.size - 1, dtype=np.int64),
+            np.diff(self._block_row_pointers),
+        )
 
-    def iter_nonzeros(self) -> Iterator[Tuple[int, int, float]]:
-        dense = self.to_dense()
-        rows, cols = np.nonzero(dense)
-        for r, c in zip(rows.tolist(), cols.tolist()):
-            yield r, c, float(dense[r, c])
+    def to_dense(self) -> np.ndarray:
+        block_rows = self._shape[0] // self._block_size
+        block_cols = self._shape[1] // self._block_size
+        tiled = np.zeros(
+            (block_rows, block_cols, self._block_size, self._block_size),
+            dtype=np.float64,
+        )
+        tiled[self._block_rows_of_slots(), self._block_col_indices] = self._blocks
+        return tiled.transpose(0, 2, 1, 3).reshape(self._shape)
+
+    def to_coo_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(rows, cols, values)`` arrays, ``(row, col)``-sorted."""
+        slots, within_r, within_c = np.nonzero(self._blocks)
+        rows = self._block_rows_of_slots()[slots] * self._block_size + within_r
+        cols = self._block_col_indices[slots] * self._block_size + within_c
+        values = self._blocks[slots, within_r, within_c]
+        order = np.lexsort((cols, rows))
+        return rows[order], cols[order], values[order]
 
     def storage_bytes(self) -> int:
         """Bytes for pointers, block column indices, and dense block payloads."""
@@ -213,20 +207,42 @@ class BandedMatrix(SparseMatrixFormat):
             raise FormatError(f"diagonal {offset} is not stored")
         return self._diagonals[offset].copy()
 
+    def _diagonal_coords(self, offset: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Row/column coordinates of a stored diagonal's entries."""
+        steps = np.arange(self._diagonals[offset].size, dtype=np.int64)
+        if offset >= 0:
+            return steps, steps + offset
+        return steps - offset, steps
+
     def to_dense(self) -> np.ndarray:
         dense = np.zeros(self._shape, dtype=np.float64)
         for offset, values in self._diagonals.items():
-            for i, value in enumerate(values.tolist()):
-                row = i if offset >= 0 else i - offset
-                col = i + offset if offset >= 0 else i
-                dense[row, col] = value
+            rows, cols = self._diagonal_coords(offset)
+            dense[rows, cols] = values
         return dense
 
-    def iter_nonzeros(self) -> Iterator[Tuple[int, int, float]]:
-        dense = self.to_dense()
-        rows, cols = np.nonzero(dense)
-        for r, c in zip(rows.tolist(), cols.tolist()):
-            yield r, c, float(dense[r, c])
+    def to_coo_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(rows, cols, values)`` arrays, ``(row, col)``-sorted."""
+        if not self._diagonals:
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.float64),
+            )
+        row_parts = []
+        col_parts = []
+        value_parts = []
+        for offset, values in self._diagonals.items():
+            keep = values != 0.0
+            rows, cols = self._diagonal_coords(offset)
+            row_parts.append(rows[keep])
+            col_parts.append(cols[keep])
+            value_parts.append(values[keep])
+        rows = np.concatenate(row_parts)
+        cols = np.concatenate(col_parts)
+        values = np.concatenate(value_parts)
+        order = np.lexsort((cols, rows))
+        return rows[order], cols[order], values[order]
 
     def storage_bytes(self) -> int:
         """Bytes to store the diagonal payloads plus one offset per diagonal."""

@@ -9,7 +9,7 @@ random-access (atomic) updates to the output vector.
 
 from __future__ import annotations
 
-from typing import Iterator, Tuple
+from typing import Tuple
 
 import numpy as np
 
@@ -88,10 +88,6 @@ class COOMatrix(SparseMatrixFormat):
         dense = np.zeros(self._shape, dtype=np.float64)
         dense[self._rows, self._cols] = self._values
         return dense
-
-    def iter_nonzeros(self) -> Iterator[Tuple[int, int, float]]:
-        for r, c, v in zip(self._rows.tolist(), self._cols.tolist(), self._values.tolist()):
-            yield r, c, v
 
     def to_coo_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Return ``(rows, cols, values)`` arrays of all stored entries."""

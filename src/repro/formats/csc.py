@@ -8,7 +8,7 @@ exploit input sparsity.
 
 from __future__ import annotations
 
-from typing import Iterator, Tuple
+from typing import Tuple
 
 import numpy as np
 
@@ -147,12 +147,6 @@ class CSCMatrix(SparseMatrixFormat):
             start, end = self._col_pointers[col], self._col_pointers[col + 1]
             dense[self._row_indices[start:end], col] = self._values[start:end]
         return dense
-
-    def iter_nonzeros(self) -> Iterator[Tuple[int, int, float]]:
-        for col in range(self._shape[1]):
-            start, end = self._col_pointers[col], self._col_pointers[col + 1]
-            for idx in range(start, end):
-                yield int(self._row_indices[idx]), col, float(self._values[idx])
 
     def to_coo_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Return ``(rows, cols, values)`` arrays of all stored entries."""

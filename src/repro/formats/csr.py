@@ -7,7 +7,7 @@ CSR SpMV, PageRank-pull, M+M, and SpMSpM applications in Table 2.
 
 from __future__ import annotations
 
-from typing import Iterator, Tuple
+from typing import Tuple
 
 import numpy as np
 
@@ -147,12 +147,6 @@ class CSRMatrix(SparseMatrixFormat):
             start, end = self._row_pointers[row], self._row_pointers[row + 1]
             dense[row, self._col_indices[start:end]] = self._values[start:end]
         return dense
-
-    def iter_nonzeros(self) -> Iterator[Tuple[int, int, float]]:
-        for row in range(self._shape[0]):
-            start, end = self._row_pointers[row], self._row_pointers[row + 1]
-            for idx in range(start, end):
-                yield row, int(self._col_indices[idx]), float(self._values[idx])
 
     def to_coo_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Return ``(rows, cols, values)`` arrays of all stored entries."""

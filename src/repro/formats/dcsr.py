@@ -8,7 +8,7 @@ most rows (or columns) are entirely empty.
 
 from __future__ import annotations
 
-from typing import Iterator, Tuple
+from typing import Tuple
 
 import numpy as np
 
@@ -61,15 +61,9 @@ class DCSRMatrix(SparseMatrixFormat):
         row_pointers = np.concatenate(
             ([0], np.cumsum(lengths[row_ids]))
         ).astype(np.int64)
-        cols = []
-        vals = []
-        for row in row_ids.tolist():
-            c, v = csr.row_slice(row)
-            cols.append(c)
-            vals.append(v)
-        col_indices = np.concatenate(cols) if cols else np.empty(0, dtype=np.int64)
-        values = np.concatenate(vals) if vals else np.empty(0, dtype=np.float64)
-        return cls(csr.shape, row_ids, row_pointers, col_indices, values)
+        # Empty rows contribute no entries, so the compressed column/value
+        # arrays carry over verbatim; only the pointer array re-indexes.
+        return cls(csr.shape, row_ids, row_pointers, csr.col_indices, csr.values)
 
     @property
     def shape(self) -> Tuple[int, int]:
@@ -103,20 +97,18 @@ class DCSRMatrix(SparseMatrixFormat):
 
     def to_dense(self) -> np.ndarray:
         dense = np.zeros(self._shape, dtype=np.float64)
-        for stored in range(self.stored_rows):
-            row, cols, vals = self.row_slice(stored)
-            dense[row, cols] = vals
+        rows, cols, values = self.to_coo_arrays()
+        dense[rows, cols] = values
         return dense
 
     def to_csr(self) -> CSRMatrix:
         """Expand back to plain CSR (reinstating empty rows)."""
         return CSRMatrix.from_dense(self.to_dense())
 
-    def iter_nonzeros(self) -> Iterator[Tuple[int, int, float]]:
-        for stored in range(self.stored_rows):
-            row, cols, vals = self.row_slice(stored)
-            for c, v in zip(cols.tolist(), vals.tolist()):
-                yield row, int(c), float(v)
+    def to_coo_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(rows, cols, values)`` arrays of all stored entries."""
+        rows = np.repeat(self._row_ids, np.diff(self._row_pointers))
+        return rows, self._col_indices.copy(), self._values.copy()
 
     def storage_bytes(self) -> int:
         """Bytes for row ids, pointers, column indices, and values (32-bit)."""
@@ -176,9 +168,10 @@ class DCSCMatrix(SparseMatrixFormat):
     def to_dense(self) -> np.ndarray:
         return self._transposed.to_dense().T
 
-    def iter_nonzeros(self) -> Iterator[Tuple[int, int, float]]:
-        for col, row, value in self._transposed.iter_nonzeros():
-            yield row, col, value
+    def to_coo_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(rows, cols, values)`` arrays, ordered by ``(col, row)``."""
+        cols, rows, values = self._transposed.to_coo_arrays()
+        return rows, cols, values
 
     def storage_bytes(self) -> int:
         """Bytes for column ids, pointers, row indices, and values (32-bit)."""

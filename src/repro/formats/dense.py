@@ -8,7 +8,7 @@ vectors) with compressed ones through a uniform interface.
 
 from __future__ import annotations
 
-from typing import Iterator, Tuple
+from typing import Tuple
 
 import numpy as np
 
@@ -49,10 +49,14 @@ class DenseMatrix(SparseMatrixFormat):
     def to_dense(self) -> np.ndarray:
         return self._data.copy()
 
-    def iter_nonzeros(self) -> Iterator[Tuple[int, int, float]]:
+    def to_coo_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(rows, cols, values)`` arrays of all stored entries."""
         rows, cols = np.nonzero(self._data)
-        for r, c in zip(rows.tolist(), cols.tolist()):
-            yield r, c, float(self._data[r, c])
+        return (
+            rows.astype(np.int64),
+            cols.astype(np.int64),
+            self._data[rows, cols],
+        )
 
     def __repr__(self) -> str:
         return f"DenseMatrix(shape={self.shape}, nnz={self.nnz})"

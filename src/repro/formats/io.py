@@ -4,12 +4,17 @@ The paper's datasets come from the SuiteSparse collection, which distributes
 Matrix-Market (``.mtx``) files. This module reads and writes the coordinate
 Matrix-Market subset so locally generated stand-in datasets can be saved and
 reloaded, and real ``.mtx`` files can be used if available.
+
+Both directions are array-native: writing formats the whole COO triplet
+array in one pass, and reading parses the entry block with a single
+vectorized tokenization (falling back to the retained line-at-a-time parser
+for ragged or malformed files so error reporting is unchanged).
 """
 
 from __future__ import annotations
 
 import pathlib
-from typing import List, Tuple, Union
+from typing import List, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -28,14 +33,76 @@ def write_matrix_market(matrix: Union[COOMatrix, CSRMatrix], path: PathLike) -> 
     """
     rows, cols, values = matrix.to_coo_arrays()
     shape = matrix.shape
-    lines: List[str] = [
-        "%%MatrixMarket matrix coordinate real general",
-        f"% written by repro.formats.io ({type(matrix).__name__})",
-        f"{shape[0]} {shape[1]} {values.size}",
-    ]
-    for r, c, v in zip(rows.tolist(), cols.tolist(), values.tolist()):
-        lines.append(f"{r + 1} {c + 1} {v:.17g}")
-    pathlib.Path(path).write_text("\n".join(lines) + "\n", encoding="ascii")
+    header = (
+        "%%MatrixMarket matrix coordinate real general\n"
+        f"% written by repro.formats.io ({type(matrix).__name__})\n"
+        f"{shape[0]} {shape[1]} {values.size}\n"
+    )
+    entries = "".join(
+        f"{r} {c} {v:.17g}\n"
+        for r, c, v in zip((rows + 1).tolist(), (cols + 1).tolist(), values.tolist())
+    )
+    pathlib.Path(path).write_text(header + entries, encoding="ascii")
+
+
+def _parse_entries_vectorized(
+    entry_lines: Sequence[str], n_entries: int, pattern: bool
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Tokenize the whole entry block in one pass.
+
+    Requires every line to carry exactly the expected column count and
+    integral index fields; raises ``ValueError`` otherwise so the caller
+    can fall back to the line-at-a-time parser (whose errors are the
+    contract).
+    """
+    width = 2 if pattern else 3
+    if n_entries == 0:
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+        )
+    parts = [line.split() for line in entry_lines[:n_entries]]
+    if any(len(p) != width for p in parts):
+        raise ValueError("ragged entry lines")
+    table = np.asarray(parts, dtype=np.float64)
+    if table.shape != (n_entries, width):
+        raise ValueError("ragged entry lines")
+    rows = table[:, 0]
+    cols = table[:, 1]
+    if np.any(rows != np.floor(rows)) or np.any(cols != np.floor(cols)):
+        raise ValueError("non-integral indices")
+    values = (
+        np.ones(n_entries, dtype=np.float64) if pattern else table[:, 2].copy()
+    )
+    return rows.astype(np.int64) - 1, cols.astype(np.int64) - 1, values
+
+
+def _parse_entries_reference(
+    path: PathLike, entry_lines: Sequence[str], n_entries: int, pattern: bool
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The retained line-at-a-time parser (exact error reporting)."""
+    rows: List[int] = []
+    cols: List[int] = []
+    values: List[float] = []
+    for line in entry_lines[:n_entries]:
+        parts = line.split()
+        if pattern:
+            if len(parts) < 2:
+                raise FormatError(f"{path}: malformed pattern entry {line!r}")
+            r, c, v = int(parts[0]) - 1, int(parts[1]) - 1, 1.0
+        else:
+            if len(parts) < 3:
+                raise FormatError(f"{path}: malformed entry {line!r}")
+            r, c, v = int(parts[0]) - 1, int(parts[1]) - 1, float(parts[2])
+        rows.append(r)
+        cols.append(c)
+        values.append(v)
+    return (
+        np.asarray(rows, dtype=np.int64),
+        np.asarray(cols, dtype=np.int64),
+        np.asarray(values, dtype=np.float64),
+    )
 
 
 def read_matrix_market(path: PathLike) -> COOMatrix:
@@ -71,33 +138,22 @@ def read_matrix_market(path: PathLike) -> COOMatrix:
             f"{path}: expected {n_entries} entries, found {len(entry_lines)}"
         )
 
-    rows: List[int] = []
-    cols: List[int] = []
-    values: List[float] = []
-    for line in entry_lines[:n_entries]:
-        parts = line.split()
-        if pattern:
-            if len(parts) < 2:
-                raise FormatError(f"{path}: malformed pattern entry {line!r}")
-            r, c, v = int(parts[0]) - 1, int(parts[1]) - 1, 1.0
-        else:
-            if len(parts) < 3:
-                raise FormatError(f"{path}: malformed entry {line!r}")
-            r, c, v = int(parts[0]) - 1, int(parts[1]) - 1, float(parts[2])
-        rows.append(r)
-        cols.append(c)
-        values.append(v)
-        if symmetric and r != c:
-            rows.append(c)
-            cols.append(r)
-            values.append(v)
+    try:
+        rows, cols, values = _parse_entries_vectorized(entry_lines, n_entries, pattern)
+    except ValueError:
+        rows, cols, values = _parse_entries_reference(
+            path, entry_lines, n_entries, pattern
+        )
 
-    return COOMatrix(
-        (n_rows, n_cols),
-        np.asarray(rows, dtype=np.int64),
-        np.asarray(cols, dtype=np.int64),
-        np.asarray(values, dtype=np.float64),
-    )
+    if symmetric:
+        mirror = rows != cols
+        rows, cols, values = (
+            np.concatenate((rows, cols[mirror])),
+            np.concatenate((cols, rows[mirror])),
+            np.concatenate((values, values[mirror])),
+        )
+
+    return COOMatrix((n_rows, n_cols), rows, cols, values)
 
 
 def roundtrip_matches(matrix: Union[COOMatrix, CSRMatrix], path: PathLike) -> bool:

@@ -25,6 +25,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..errors import WorkloadError
+from ..formats.bitvector import BitVector
 from ..formats.coo import COOMatrix
 from ..formats.csr import CSRMatrix
 
@@ -201,6 +202,26 @@ def sparse_vector(length: int, density: float, seed: int = 0) -> np.ndarray:
         positions = rng.choice(length, size=nnz, replace=False)
         data[positions] = rng.random(nnz) + 0.1
     return data
+
+
+def sparse_bitvector(length: int, density: float, seed: int = 0) -> BitVector:
+    """A random :class:`BitVector` built without a dense intermediate.
+
+    Draws the identical positions and values as :func:`sparse_vector` with
+    the same arguments (``BitVector.from_dense(sparse_vector(...))`` gives
+    an equal vector), but feeds the index/value arrays straight into the
+    packed bit-vector construction -- the natural generator for scanner and
+    format microbenchmarks over large, very sparse spaces.
+    """
+    if not 0.0 <= density <= 1.0:
+        raise WorkloadError("density must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    nnz = int(round(length * density))
+    if not nnz:
+        return BitVector.empty(length)
+    positions = rng.choice(length, size=nnz, replace=False)
+    values = rng.random(nnz) + 0.1
+    return BitVector(length, positions, values)
 
 
 def clustered_sparse_vector(

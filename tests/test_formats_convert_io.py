@@ -149,3 +149,15 @@ class TestMatrixMarketIO:
 
         with pytest.raises(FormatError):
             read_matrix_market(path)
+
+    def test_ragged_entry_lines_rejected(self, tmp_path):
+        # Token count coincidentally matches 2 entries x 3 columns, but the
+        # lines themselves are ragged; the reference parser's error stands.
+        path = tmp_path / "ragged.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n4 6 2\n1 2\n2 3 4 5\n"
+        )
+        from repro.errors import FormatError
+
+        with pytest.raises(FormatError):
+            read_matrix_market(path)
