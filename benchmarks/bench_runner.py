@@ -40,11 +40,18 @@ import os
 import sys
 import tempfile
 import time
+import tracemalloc
 from pathlib import Path
 
 import numpy as np
 
-from repro.apps.timing import estimate_cycles, estimate_cycles_batch
+from repro._compiled import HAS_NUMBA
+from repro.apps.timing import (
+    COSTING_BYTES_PER_CELL,
+    estimate_cycles,
+    estimate_cycles_batch,
+    iter_cycles_batches,
+)
 from repro.config import MemoryTechnology, ShuffleMode, SpMUConfig
 from repro.core.ordering import OrderingMode
 from repro.core.spmu import effective_bank_throughput_batch
@@ -59,6 +66,22 @@ def _timed(**kwargs) -> float:
     start = time.perf_counter()
     collect_profiles(**kwargs)
     return time.perf_counter() - start
+
+
+def _traced_peak_mb(fn) -> float:
+    """Peak traced allocation (MiB) of one callable, in a clean trace.
+
+    Timing passes stay untraced (tracemalloc adds per-allocation overhead);
+    each section runs one extra pass under the tracer purely to record its
+    peak working set.
+    """
+    tracemalloc.start()
+    try:
+        fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak / (1024 * 1024)
 
 
 def _bench_costing(profiles, batch_repeats: int = 3) -> dict:
@@ -94,6 +117,7 @@ def _bench_costing(profiles, batch_repeats: int = 3) -> dict:
     batch_s = min(
         _timed_batch(profiles, platforms) for _ in range(max(1, batch_repeats))
     )
+    peak_mb = _traced_peak_mb(lambda: estimate_cycles_batch(profiles, platforms))
     return {
         "variants": len(platforms),
         "profiles": len(profiles),
@@ -101,6 +125,7 @@ def _bench_costing(profiles, batch_repeats: int = 3) -> dict:
         "scalar_s": round(scalar_s, 4),
         "batch_s": round(batch_s, 4),
         "batch_speedup": round(scalar_s / batch_s, 1),
+        "peak_mb": round(peak_mb, 2),
         "identical": identical,
     }
 
@@ -228,6 +253,13 @@ def _bench_formats() -> dict:
     record["batch_s"] = round(batch_total, 4)
     record["reference_s"] = round(reference_total, 4)
     record["speedup"] = round(reference_total / batch_total, 1)
+
+    def _all_batches():
+        _scan_batch()
+        _convert_batch()
+        _construct_batch()
+
+    record["peak_mb"] = round(_traced_peak_mb(_all_batches), 2)
     return record
 
 
@@ -280,6 +312,10 @@ def _bench_spmu() -> dict:
                 variants, backend="reference"
             )
             reference_s = min(reference_s, time.perf_counter() - start)
+        spmu_module._THROUGHPUT_CACHE.clear()
+        peak_mb = _traced_peak_mb(
+            lambda: effective_bank_throughput_batch(variants)
+        )
     finally:
         spmu_module._THROUGHPUT_CACHE.clear()
         if saved_disable is None:
@@ -292,9 +328,148 @@ def _bench_spmu() -> dict:
         "reference_s": round(reference_s, 3),
         "array_s": round(array_s, 3),
         "speedup": round(reference_s / array_s, 1),
+        "peak_mb": round(peak_mb, 2),
         "identical": bool(
             all(a == r for a, r in zip(array_values, reference_values))
         ),
+    }
+
+
+def _bench_chunked(profiles) -> dict:
+    """Prove a 4096-variant costing grid streams flat-memory under budget.
+
+    The grid crosses ten structural/policy axes into 4096 platform variants
+    (64 distinct SpMU calibration microbenchmarks, prefetched once so every
+    pass measures costing, not simulation). Three comparisons:
+
+    * ``identical`` -- the chunked :func:`estimate_cycles_batch` (explicit
+      byte budget sized for 128-variant chunks) reproduces the unchunked
+      grid bit for bit, cycles and every stall category, and the streaming
+      :func:`iter_cycles_batches` fold reproduces the per-variant
+      geometric means float for float;
+    * ``peak_ratio`` -- the traced peak of streaming all 4096 variants
+      under the budget against the traced peak of a plain 128-variant run;
+      flat-memory streaming keeps the ratio near 1 (the CI gate allows
+      ``--max-peak-ratio``);
+    * ``spmu_numba_speedup`` -- with numba installed, the compiled
+      per-cycle SpMU kernel against the lock-step engine over a cold
+      32-variant microbenchmark grid (``None`` when numba is absent).
+    """
+    import repro.core.spmu as spmu_module
+    from repro.runtime.dse import prefill_throughputs
+    from repro.sim.stats import geometric_mean
+
+    variants = sweep(
+        lanes=(8, 16),
+        banks=(16, 32),
+        queue_depth=(8, 16),
+        crossbar_inputs=(16, 32),
+        compute_units=(49, 100, 196, 400),
+        bank_mapping=("hash", "linear"),
+        allocator=("separable", "greedy"),
+        ordering=tuple(OrderingMode),
+        memory=(MemoryTechnology.HBM2E, MemoryTechnology.DDR4),
+        shuffle=(ShuffleMode.MRG1, ShuffleMode.NONE),
+    )
+    platforms = list(variants.values())
+    small = platforms[:128]
+    budget = 128 * len(profiles) * COSTING_BYTES_PER_CELL
+
+    saved_disable = os.environ.get("REPRO_THROUGHPUT_CACHE_DISABLE")
+    os.environ["REPRO_THROUGHPUT_CACHE_DISABLE"] = "1"
+    try:
+        prefill_throughputs(platforms)
+
+        start = time.perf_counter()
+        full = estimate_cycles_batch(profiles, platforms)
+        unchunked_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        chunked = estimate_cycles_batch(profiles, platforms, memory_budget=budget)
+        chunked_s = time.perf_counter() - start
+
+        identical = np.array_equal(full.cycles, chunked.cycles) and all(
+            np.array_equal(full.categories[name], chunked.categories[name])
+            for name in full.categories
+        )
+
+        gmean_full = [
+            geometric_mean([float(c) for c in full.cycles[:, j]])
+            for j in range(len(platforms))
+        ]
+
+        def _streamed_gmeans():
+            gmeans = []
+            for _, part in iter_cycles_batches(
+                profiles, platforms, memory_budget=budget
+            ):
+                gmeans.extend(
+                    geometric_mean([float(c) for c in part.cycles[:, j]])
+                    for j in range(part.cycles.shape[1])
+                )
+                # Release this chunk before the generator builds the next
+                # one, keeping the live set at one chunk.
+                del part
+            return gmeans
+
+        identical = identical and _streamed_gmeans() == gmean_full
+
+        peak_small_mb = _traced_peak_mb(
+            lambda: estimate_cycles_batch(profiles, small)
+        )
+        peak_streamed_mb = _traced_peak_mb(_streamed_gmeans)
+
+        spmu_numba_speedup = None
+        if HAS_NUMBA:
+            micro = [
+                SpMUVariant(
+                    ordering=ordering,
+                    bank_mapping=mapping,
+                    allocator_kind=allocator,
+                    config=SpMUConfig(queue_depth=depth),
+                )
+                for ordering, mapping, allocator, depth in itertools.product(
+                    list(OrderingMode),
+                    ("hash", "linear"),
+                    ("separable", "greedy"),
+                    (8, 16),
+                )
+            ]
+            # Warm the JIT before timing the compiled path.
+            spmu_module._THROUGHPUT_CACHE.clear()
+            effective_bank_throughput_batch(micro, backend="numba")
+            numpy_s = numba_s = float("inf")
+            for _ in range(2):
+                spmu_module._THROUGHPUT_CACHE.clear()
+                start = time.perf_counter()
+                effective_bank_throughput_batch(micro)
+                numpy_s = min(numpy_s, time.perf_counter() - start)
+                spmu_module._THROUGHPUT_CACHE.clear()
+                start = time.perf_counter()
+                effective_bank_throughput_batch(micro, backend="numba")
+                numba_s = min(numba_s, time.perf_counter() - start)
+            spmu_numba_speedup = round(numpy_s / numba_s, 1)
+    finally:
+        spmu_module._THROUGHPUT_CACHE.clear()
+        if saved_disable is None:
+            del os.environ["REPRO_THROUGHPUT_CACHE_DISABLE"]
+        else:
+            os.environ["REPRO_THROUGHPUT_CACHE_DISABLE"] = saved_disable
+
+    return {
+        "variants": len(platforms),
+        "profiles": len(profiles),
+        "memory_budget_bytes": budget,
+        "chunk_platforms": budget // (len(profiles) * COSTING_BYTES_PER_CELL),
+        "unchunked_s": round(unchunked_s, 3),
+        "chunked_s": round(chunked_s, 3),
+        "chunked_slowdown": round(chunked_s / unchunked_s, 2),
+        "peak_small_mb": round(peak_small_mb, 2),
+        "peak_streamed_mb": round(peak_streamed_mb, 2),
+        "peak_ratio": round(peak_streamed_mb / peak_small_mb, 2),
+        "numba_available": HAS_NUMBA,
+        "spmu_numba_speedup": spmu_numba_speedup,
+        "identical": bool(identical),
     }
 
 
@@ -358,12 +533,38 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument(
+        "--no-chunked",
+        action="store_true",
+        help="skip the memory-bounded chunked-execution benchmark",
+    )
+    parser.add_argument(
+        "--max-peak-ratio",
+        type=float,
+        default=1.5,
+        help=(
+            "fail when streaming the 4096-variant grid under budget peaks at "
+            "more than this multiple of a plain 128-variant run (default 1.5)"
+        ),
+    )
+    parser.add_argument(
+        "--min-numba-speedup",
+        type=float,
+        default=3.0,
+        help=(
+            "fail when the compiled SpMU kernel is not this much faster than "
+            "the lock-step engine (only checked when numba is installed)"
+        ),
+    )
+    parser.add_argument(
         "--output",
         default=str(Path(__file__).resolve().parent.parent / "BENCH_runner.json"),
         help="where to write the benchmark record",
     )
     args = parser.parse_args(argv)
     scale = _parse_scale(args.scale)
+    # An ambient budget would silently chunk every section; the chunked
+    # section sets its own explicit budget where one is wanted.
+    os.environ.pop("REPRO_MEMORY_BUDGET", None)
     # Read the baseline up front: --output may overwrite the same file.
     baseline = json.loads(Path(args.baseline).read_text()) if args.baseline else None
     if baseline is not None and baseline.get("scale") != scale:
@@ -425,10 +626,43 @@ def main(argv=None) -> int:
     if not args.no_formats:
         formats = _bench_formats()
         record["formats"] = formats
+    chunked = None
+    if not args.no_chunked:
+        profiles = [profile_set.profiles[key] for key in sorted(profile_set.profiles)]
+        chunked = _bench_chunked(profiles)
+        record["chunked"] = chunked
     Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
     print(json.dumps(record, indent=2))
 
     failed = False
+    if chunked is not None:
+        if not chunked["identical"]:
+            print(
+                "REGRESSION: memory-bounded chunked costing diverged from the "
+                "unchunked grid",
+                file=sys.stderr,
+            )
+            failed = True
+        if chunked["peak_ratio"] > args.max_peak_ratio:
+            print(
+                f"REGRESSION: streaming the {chunked['variants']}-variant grid "
+                f"peaked at {chunked['peak_ratio']}x the 128-variant run "
+                f"(limit {args.max_peak_ratio}x; "
+                f"{chunked['peak_streamed_mb']}MB vs {chunked['peak_small_mb']}MB)",
+                file=sys.stderr,
+            )
+            failed = True
+        if (
+            chunked["spmu_numba_speedup"] is not None
+            and chunked["spmu_numba_speedup"] < args.min_numba_speedup
+        ):
+            print(
+                f"REGRESSION: compiled SpMU kernel speedup "
+                f"{chunked['spmu_numba_speedup']}x is below the required "
+                f"{args.min_numba_speedup}x",
+                file=sys.stderr,
+            )
+            failed = True
     if formats is not None:
         if not formats["identical"]:
             print(
@@ -523,6 +757,23 @@ def main(argv=None) -> int:
                     f"formats check ok: {formats['batch_s']:.4f}s <= "
                     f"{formats_budget:.4f}s ({args.max_slowdown}x of "
                     f"{baseline_formats['batch_s']}s)"
+                )
+        baseline_chunked = baseline.get("chunked")
+        if chunked is not None and baseline_chunked is not None:
+            chunked_budget = baseline_chunked["chunked_s"] * args.max_slowdown
+            if chunked["chunked_s"] > chunked_budget:
+                print(
+                    f"REGRESSION: chunked costing {chunked['chunked_s']:.3f}s "
+                    f"exceeds {args.max_slowdown}x the baseline "
+                    f"({baseline_chunked['chunked_s']}s)",
+                    file=sys.stderr,
+                )
+                failed = True
+            else:
+                print(
+                    f"chunked check ok: {chunked['chunked_s']:.3f}s <= "
+                    f"{chunked_budget:.3f}s ({args.max_slowdown}x of "
+                    f"{baseline_chunked['chunked_s']}s)"
                 )
         baseline_costing = baseline.get("costing")
         if costing is not None and baseline_costing is not None:

@@ -1,0 +1,109 @@
+"""Optional compiled-kernel backend: the numba seam and the backend lattice.
+
+The engines expose three backend tiers (the "backend lattice"):
+
+* ``"reference"`` -- the object-at-a-time simulators; ground truth.
+* ``"numpy"`` -- the batched array engines; the default everywhere.
+* ``"numba"`` -- optional JIT compilation of the hottest scalar loops (the
+  per-cycle SpMU scheduling kernel and the packed-word bitset kernels).
+
+numba is an *optional* dependency (``pip install .[numba]``). This module
+is the single import guard: when numba is absent, :func:`njit` is an
+identity decorator -- the kernels still run as plain Python, which is what
+the equivalence tests exercise -- and requesting ``backend="numba"`` falls
+back to the numpy engines with a one-time warning instead of failing.
+
+Nothing here may import from the rest of the package (the core engines
+import this module), so it stays stdlib-only.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Optional, Set
+
+try:  # pragma: no cover - exercised only when numba is installed
+    import numba as _numba
+
+    HAS_NUMBA = True
+except ImportError:  # pragma: no cover - the default CI environment
+    _numba = None
+    HAS_NUMBA = False
+
+#: Backend names accepted by the array engines' ``backend=`` seam.
+COMPILED_BACKENDS = ("numpy", "numba")
+
+
+def njit(func=None, **options):
+    """``numba.njit`` when numba is installed, identity otherwise.
+
+    Usable both bare (``@njit``) and with options (``@njit(cache=True)``);
+    options are dropped in the fallback so decorated kernels remain plain
+    Python functions that the equivalence tests can call directly.
+    """
+    if func is None:
+        return lambda f: njit(f, **options)
+    if HAS_NUMBA:  # pragma: no cover - exercised only when numba is installed
+        options.setdefault("cache", True)
+        return _numba.njit(**options)(func)
+    return func
+
+
+_DEFAULT_BACKEND = "numpy"
+_WARNED_FALLBACKS: Set[str] = set()
+
+
+def default_backend() -> str:
+    """The process-wide default compiled backend (``numpy`` or ``numba``)."""
+    return _DEFAULT_BACKEND
+
+
+def set_default_backend(backend: str) -> None:
+    """Set the process-wide default backend (``repro-eval --backend numba``).
+
+    Requesting ``numba`` without numba installed is allowed; every engine
+    then falls back to numpy with a one-time warning at use time.
+    """
+    from .errors import ConfigurationError
+
+    if backend not in COMPILED_BACKENDS:
+        raise ConfigurationError(
+            f"unknown backend {backend!r}; expected one of {COMPILED_BACKENDS}"
+        )
+    global _DEFAULT_BACKEND
+    _DEFAULT_BACKEND = backend
+
+
+def resolve_backend(backend: Optional[str], feature: str = "kernels") -> str:
+    """Resolve a ``backend=`` argument to a usable engine tier.
+
+    Args:
+        backend: ``None`` (use the process default), ``"numpy"`` (also
+            accepts the legacy alias ``"array"``), or ``"numba"``.
+        feature: Label for the one-time fallback warning.
+
+    Returns:
+        ``"numba"`` when requested and available, else ``"numpy"``.
+    """
+    from .errors import ConfigurationError
+
+    if backend is None:
+        backend = _DEFAULT_BACKEND
+    if backend in ("array", "vectorized"):
+        backend = "numpy"
+    if backend not in COMPILED_BACKENDS:
+        raise ConfigurationError(
+            f"unknown backend {backend!r}; expected one of {COMPILED_BACKENDS}"
+        )
+    if backend == "numba" and not HAS_NUMBA:
+        if feature not in _WARNED_FALLBACKS:
+            _WARNED_FALLBACKS.add(feature)
+            warnings.warn(
+                f"backend 'numba' requested for {feature} but numba is not "
+                "installed; falling back to the numpy engine "
+                "(pip install repro-capstan[numba])",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        return "numpy"
+    return backend

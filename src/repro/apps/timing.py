@@ -26,10 +26,11 @@ passes while producing bit-identical numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .._budget import iter_chunked, plan_chunks, resolve_memory_budget
 from ..config import CapstanConfig, MemoryTechnology, ShuffleConfig, ShuffleMode
 from ..core.ordering import OrderingMode
 from ..core.spmu import (
@@ -311,29 +312,23 @@ class BatchCostResult:
         )
 
 
-def estimate_cycles_batch(
+#: Cost-model constant for the budget planner: rough ``float64`` working-set
+#: bytes the batched costing model allocates per (profile, platform) grid
+#: cell (a few dozen per-pair temporaries plus the result categories).
+COSTING_BYTES_PER_CELL = 8 * 40
+
+
+def _estimate_cycles_batch_columns(
     profiles: Sequence[WorkloadProfile], platforms: Sequence[CapstanPlatform]
 ) -> BatchCostResult:
-    """Cost every (profile, platform) pair of a grid in vectorized passes.
+    """One unchunked costing pass over a (profile x platform) grid.
 
-    Produces exactly the numbers :func:`estimate_cycles` produces cell by
-    cell -- every arithmetic step mirrors the scalar model's operation
-    order, and the calibrated sub-models (SpMU throughput, merge
-    efficiency, network latency, DRAM parameters) are resolved through the
-    same caches -- but stacks the profile fields into numpy arrays so a
-    design-space sweep pays Python overhead once per grid instead of once
-    per pair. One :class:`~repro.sim.network.OnChipNetwork` /
-    :class:`~repro.sim.dram.DRAMModel` instance is reused per distinct
-    configuration instead of being rebuilt per call.
-
-    Args:
-        profiles: Application profiles (grid rows).
-        platforms: Capstan configurations to cost them on (grid columns).
-
-    Returns:
-        A :class:`BatchCostResult` with per-cell cycles and stall categories.
+    Every term is computed column by column from per-platform scalars
+    broadcast against per-profile columns -- no cross-platform reductions
+    exist -- so a platform-axis chunk of this pass is bit-identical to the
+    corresponding columns of the full pass. That property is what lets
+    :func:`iter_cycles_batches` stream a grid under a memory budget.
     """
-    profiles = list(profiles)
     platforms = [p or default_platform() for p in platforms]
     n_profiles, n_platforms = len(profiles), len(platforms)
     if n_profiles == 0 or n_platforms == 0:
@@ -507,6 +502,87 @@ def estimate_cycles_batch(
     for name in STALL_CATEGORIES:
         cycles = cycles + categories[name]
     return BatchCostResult(cycles=cycles, categories=categories)
+
+
+def iter_cycles_batches(
+    profiles: Iterable[WorkloadProfile],
+    platforms: Iterable[CapstanPlatform],
+    *,
+    memory_budget: Union[int, str, None] = None,
+    chunk_platforms: Optional[int] = None,
+) -> Iterator[Tuple[List[CapstanPlatform], BatchCostResult]]:
+    """Stream a costing grid as (platform chunk, chunk result) pairs.
+
+    The platform axis is cut into chunks sized so one chunk's working set
+    (:data:`COSTING_BYTES_PER_CELL` per cell) fits the memory budget; each
+    chunk's :class:`BatchCostResult` is bit-identical to the corresponding
+    columns of the unchunked grid. ``platforms`` may be any iterable
+    (including a generator) and is consumed one chunk at a time; profiles
+    are materialized once (they are the small axis).
+    """
+    profiles = list(profiles)
+    budget = resolve_memory_budget(memory_budget)
+    if chunk_platforms is None:
+        if budget is None:
+            yield (chunk := list(platforms)), _estimate_cycles_batch_columns(profiles, chunk)
+            return
+        per_platform = max(len(profiles), 1) * COSTING_BYTES_PER_CELL
+        chunk_platforms = plan_chunks(0, per_platform, budget).chunk_items
+    for chunk in iter_chunked(platforms, chunk_platforms):
+        yield chunk, _estimate_cycles_batch_columns(profiles, chunk)
+
+
+def estimate_cycles_batch(
+    profiles: Iterable[WorkloadProfile],
+    platforms: Iterable[CapstanPlatform],
+    *,
+    memory_budget: Union[int, str, None] = None,
+    chunk_platforms: Optional[int] = None,
+) -> BatchCostResult:
+    """Cost every (profile, platform) pair of a grid in vectorized passes.
+
+    Produces exactly the numbers :func:`estimate_cycles` produces cell by
+    cell -- every arithmetic step mirrors the scalar model's operation
+    order, and the calibrated sub-models (SpMU throughput, merge
+    efficiency, network latency, DRAM parameters) are resolved through the
+    same caches -- but stacks the profile fields into numpy arrays so a
+    design-space sweep pays Python overhead once per grid instead of once
+    per pair. One :class:`~repro.sim.network.OnChipNetwork` /
+    :class:`~repro.sim.dram.DRAMModel` instance is reused per distinct
+    configuration instead of being rebuilt per call.
+
+    Args:
+        profiles: Application profiles (grid rows); any iterable.
+        platforms: Capstan configurations to cost them on (grid columns);
+            any iterable, consumed lazily when chunking.
+        memory_budget: Byte budget for the costing temporaries; the
+            platform axis is streamed in budget-sized chunks and the chunk
+            columns concatenated (bit-identical to the unchunked pass).
+            ``None`` defers to ``REPRO_MEMORY_BUDGET``.
+        chunk_platforms: Explicit platform-axis chunk width (overrides the
+            cost model; mainly for the equivalence tests).
+
+    Returns:
+        A :class:`BatchCostResult` with per-cell cycles and stall categories.
+    """
+    profiles = list(profiles)
+    if chunk_platforms is None and resolve_memory_budget(memory_budget) is None:
+        return _estimate_cycles_batch_columns(profiles, list(platforms))
+    parts = [
+        result
+        for _chunk, result in iter_cycles_batches(
+            profiles, platforms, memory_budget=memory_budget, chunk_platforms=chunk_platforms
+        )
+    ]
+    if not parts:
+        return _estimate_cycles_batch_columns(profiles, [])
+    return BatchCostResult(
+        cycles=np.concatenate([part.cycles for part in parts], axis=1),
+        categories={
+            name: np.concatenate([part.categories[name] for part in parts], axis=1)
+            for name in STALL_CATEGORIES
+        },
+    )
 
 
 def run_metrics(

@@ -22,10 +22,11 @@ per-tile Python work. The per-tile loop is retained as
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from .._budget import resolve_memory_budget
 from ..errors import FormatError, SimulationError
 from ..formats import packed
 from ..formats.bitvector import BitVector
@@ -107,7 +108,12 @@ class FormatConverter:
         return vector, stats
 
     def convert_many(
-        self, length: int, pointer_tiles: Sequence[np.ndarray]
+        self,
+        length: int,
+        pointer_tiles: Iterable[np.ndarray],
+        *,
+        memory_budget: Optional[int] = None,
+        chunk_tiles: Optional[int] = None,
     ) -> Tuple[List[BitVector], ConversionStats]:
         """Convert a sequence of pointer tiles, aggregating the statistics.
 
@@ -115,8 +121,66 @@ class FormatConverter:
         conflict reduction; statistics (cycles, words written, conflicts)
         come out of closed-form array expressions instead of a per-tile
         accumulation loop.
+
+        Args:
+            length: Logical length of every output bit-vector.
+            pointer_tiles: Pointer tiles; any iterable (consumed lazily when
+                chunking, so generators stream without materializing).
+            memory_budget: Byte budget for the batched build's working set;
+                tiles are converted chunk by chunk under it. Conversion
+                state restarts at tile boundaries and the statistics are
+                per-tile sums, so the chunked result is identical to the
+                unchunked one. ``None`` defers to ``REPRO_MEMORY_BUDGET``.
+            chunk_tiles: Explicit chunk size in tiles (overrides the cost
+                model; mainly for the equivalence tests).
         """
-        tile_arrays = [np.asarray(tile, dtype=np.int64) for tile in pointer_tiles]
+        budget = resolve_memory_budget(memory_budget)
+        if budget is None and chunk_tiles is None:
+            return self._convert_chunk(
+                length, [np.asarray(tile, dtype=np.int64) for tile in pointer_tiles]
+            )
+
+        words_per_tile64 = packed.word_count(length)
+        vectors: List[BitVector] = []
+        totals = np.zeros(4, dtype=np.int64)
+        chunk: List[np.ndarray] = []
+        chunk_bytes = 0
+
+        def _flush() -> None:
+            nonlocal chunk, chunk_bytes
+            chunk_vectors, stats = self._convert_chunk(length, chunk)
+            vectors.extend(chunk_vectors)
+            totals[0] += stats.pointers
+            totals[1] += stats.cycles
+            totals[2] += stats.words_written
+            totals[3] += stats.spmu_word_conflicts
+            chunk = []
+            chunk_bytes = 0
+
+        for tile in pointer_tiles:
+            tile_array = np.asarray(tile, dtype=np.int64)
+            # Packed words for the tile plus the flat sort/id temporaries.
+            tile_bytes = words_per_tile64 * 8 + tile_array.size * 48 + 128
+            if chunk and (
+                (chunk_tiles is not None and len(chunk) >= chunk_tiles)
+                or (budget is not None and chunk_bytes + tile_bytes > budget)
+            ):
+                _flush()
+            chunk.append(tile_array)
+            chunk_bytes += tile_bytes
+        if chunk:
+            _flush()
+        return vectors, ConversionStats(
+            pointers=int(totals[0]),
+            cycles=int(totals[1]),
+            words_written=int(totals[2]),
+            spmu_word_conflicts=int(totals[3]),
+        )
+
+    def _convert_chunk(
+        self, length: int, tile_arrays: List[np.ndarray]
+    ) -> Tuple[List[BitVector], ConversionStats]:
+        """The single-pass batched build over one chunk of tiles."""
         if any(tile.ndim != 1 for tile in tile_arrays):
             raise FormatError("bit-vector indices must be one-dimensional")
         sizes = np.asarray([tile.size for tile in tile_arrays], dtype=np.int64)

@@ -277,7 +277,7 @@ class SparseMemoryUnit:
         backend: str = "array",
         record_trace: bool = False,
     ):
-        if backend not in ("array", "reference"):
+        if backend not in ("array", "numba", "reference"):
             raise SimulationError(f"unknown SpMU backend {backend!r}")
         self._config = config or SpMUConfig()
         self._config.validate()
@@ -401,7 +401,14 @@ class SparseMemoryUnit:
 
     @property
     def backend(self) -> str:
-        """The configured simulation backend (``"array"`` or ``"reference"``)."""
+        """The configured backend (``"array"``, ``"numba"``, or ``"reference"``).
+
+        ``"numba"`` routes stats-only batch simulation through the compiled
+        per-cycle kernel; paths that need issue collection or trace
+        recording (including :meth:`simulate`'s functional execution) run
+        on the array engine either way, so the two backends are
+        interchangeable here.
+        """
         return self._backend
 
     def simulate(self, vectors) -> SpMUStats:
@@ -418,7 +425,7 @@ class SparseMemoryUnit:
         Returns:
             Aggregate :class:`SpMUStats` for the run.
         """
-        if self._backend == "array":
+        if self._backend != "reference":
             trace = vectors if isinstance(vectors, RequestTrace) else RequestTrace.from_vectors(vectors)
             stats = self._simulate_array(trace)
         else:
@@ -837,7 +844,7 @@ def measure_bank_utilization(
         allocator_kind=allocator_kind,
         backend=backend,
     )
-    if backend == "array":
+    if backend != "reference":
         trace = random_request_trace(vectors, lanes=lanes, seed=seed)
     else:
         trace = random_request_vectors(vectors, lanes=lanes, seed=seed)
@@ -942,7 +949,9 @@ def _variant_cache_key(variant: SpMUVariant) -> Tuple:
 
 
 def effective_bank_throughput_batch(
-    variants: Sequence[SpMUVariant], backend: str = "array"
+    variants: Sequence[SpMUVariant],
+    backend: Optional[str] = None,
+    memory_budget=None,
 ) -> np.ndarray:
     """Batched :func:`effective_bank_throughput` over a variant grid.
 
@@ -957,13 +966,19 @@ def effective_bank_throughput_batch(
 
     Args:
         variants: The SpMU configuration points to measure.
-        backend: ``"array"`` (default) or ``"reference"`` (scalar loop per
-            variant, for benchmarking and verification).
+        backend: ``None`` (process default), ``"array"``/``"numpy"``
+            (lock-step engine), ``"numba"`` (compiled per-cycle kernel,
+            numpy fallback when absent), or ``"reference"`` (scalar loop
+            per variant, for benchmarking and verification).
+        memory_budget: Byte budget bounding the cold-variant lock-step
+            state (see :func:`~repro.core.spmu_array.simulate_variants`);
+            ``None`` defers to ``REPRO_MEMORY_BUDGET``.
 
     Returns:
         Sustained random-access requests per cycle, aligned with
         ``variants``.
     """
+    variants = list(variants)
     results = np.empty(len(variants), dtype=np.float64)
     if backend == "reference":
         for i, variant in enumerate(variants):
@@ -1020,7 +1035,10 @@ def effective_bank_throughput_batch(
                 _THROUGHPUT_VECTORS, lanes=variant.lanes, seed=_THROUGHPUT_SEED
             )
     simulated = simulate_variants(
-        cold_variants, [traces[v.lanes] for v in cold_variants]
+        cold_variants,
+        [traces[v.lanes] for v in cold_variants],
+        backend=backend,
+        memory_budget=memory_budget,
     )
     fresh: Dict[str, float] = {}
     for key, variant, result in zip(cold_keys, cold_variants, simulated):

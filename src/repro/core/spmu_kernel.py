@@ -1,0 +1,264 @@
+"""Scalar per-cycle SpMU scheduling kernel (the ``numba`` backend).
+
+The lock-step engine in :mod:`repro.core.spmu_array` simulates many
+variants at once with per-cycle tensor passes; that amortizes numpy's
+per-operation overhead across the grid, but a *single* variant still pays
+dozens of array operations per simulated cycle. This module re-expresses
+one variant's cycle loop -- queue refill, separable / greedy allocation,
+address-ordered Bloom-filter admission, completion and retirement -- as a
+plain scalar loop that ``numba.njit`` compiles to machine code.
+
+The kernel is written to be correct *without* numba: the
+:func:`~repro._compiled.njit` decorator is an identity fallback, so the
+function always runs (slowly) as pure Python, which is how the
+equivalence tests pin it statistic-for-statistic against the lock-step
+engine even on machines without numba installed.
+
+Semantics are a line-for-line transcription of the lock-step loop for a
+single variant:
+
+* refill: unordered accepts unconditionally; address-ordered goes attempt
+  by attempt, paying the intra-vector-duplicate split stall each attempt
+  and stopping for the cycle on a Bloom hit.
+* allocation: up to ``ipl`` input-speedup passes per cycle. Each pass
+  derives the (lane, bank) -> oldest-queue-position table, then runs the
+  separable iterations (per-iteration age cutoffs; stage 1 gives each lane
+  its lowest eligible bank, stage 2 gives each bank its lowest bidding
+  lane) or the greedy lane-ordered scan. Banks stay taken across passes of
+  one cycle; lanes reset per pass.
+* address-ordered issue decrements both Bloom slots of every grant in the
+  pass, membership-checked against the counters as they stood at the end
+  of the pass's allocation (all checks before all decrements, matching the
+  batched engine's vectorized subtract).
+* completions retire ``latency`` cycles after issue through a ring buffer;
+  a queue slot frees when all of its kept requests have retired, and the
+  simulation ends on a retiring cycle once everything issued and retired.
+
+Returns ``(cycles, executed, stalls)``; ``cycles`` is ``-1`` when the
+convergence bound is exceeded (the caller raises, matching the lock-step
+engine's :class:`~repro.errors.SimulationError`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._compiled import njit
+
+#: Sentinel queue position meaning "no pending request"; larger than any
+#: real queue position or age cutoff. Mirrors ``spmu_array._NO_POS``.
+NO_POS = 1 << 20
+
+
+@njit
+def simulate_scheduled_single(
+    pend,
+    remaining,
+    slots0,
+    slots1,
+    has_dup,
+    counters,
+    cutoffs,
+    is_separable,
+    is_ao,
+    total,
+    depth,
+    banks,
+    ipl,
+    latency,
+    max_cycles,
+):
+    """Simulate one unordered / address-ordered variant's cycle loop.
+
+    Args:
+        pend: ``int64[n_vectors, width]`` bank of each kept request, ``-1``
+            where a lane has none; mutated in place as requests issue.
+        remaining: ``int64[n_vectors]`` kept requests not yet retired per
+            vector; mutated in place.
+        slots0 / slots1: ``int64[n_vectors, width]`` Bloom-filter slots per
+            kept request (zeros when not address-ordered).
+        has_dup: ``int64[n_vectors]`` 1 where a vector holds duplicate
+            addresses (the address-ordered split-stall condition).
+        counters: ``int64[entries]`` zeroed counting-Bloom scratch.
+        cutoffs: ``int64[iterations]`` separable age cutoffs (empty for
+            greedy; ``<= 0`` entries disable an iteration).
+        is_separable / is_ao: Allocator and ordering selectors.
+        total: Total kept requests in the trace.
+        depth / banks / ipl / latency / max_cycles: Structural parameters
+            (queue depth, bank count, input-speedup passes, pipeline
+            latency, convergence bound).
+
+    Returns:
+        ``(cycles, executed, stalls)``; ``cycles`` is ``-1`` on
+        non-convergence.
+    """
+    n_vectors, width = pend.shape
+    executed = 0
+    stalls = 0
+    if n_vectors == 0:
+        return 0, executed, stalls
+
+    queue = np.full(depth, -1, dtype=np.int64)
+    qn = 0
+    waiting = 0
+
+    min_pos = np.empty((width, banks), dtype=np.int64)
+    taken = np.zeros(banks, dtype=np.bool_)
+    lane_done = np.zeros(width, dtype=np.bool_)
+    grant_vec = np.empty(max(width, 1), dtype=np.int64)
+    grant_lane = np.empty(max(width, 1), dtype=np.int64)
+    grant_ok = np.empty(max(width, 1), dtype=np.bool_)
+
+    ring = latency + 1
+    comp_cap = max(width * ipl, 1)
+    comp_vec = np.empty((ring, comp_cap), dtype=np.int64)
+    comp_n = np.zeros(ring, dtype=np.int64)
+
+    cycle = 0
+    while True:
+        if cycle > max_cycles:
+            return -1, executed, stalls
+
+        # ---- queue refill -------------------------------------------------
+        if is_ao:
+            while waiting < n_vectors and qn < depth:
+                stalls += has_dup[waiting]
+                hit = False
+                for lane in range(width):
+                    if pend[waiting, lane] >= 0:
+                        if (
+                            counters[slots0[waiting, lane]] > 0
+                            and counters[slots1[waiting, lane]] > 0
+                        ):
+                            hit = True
+                            break
+                if hit:
+                    stalls += 1
+                    break
+                for lane in range(width):
+                    if pend[waiting, lane] >= 0:
+                        counters[slots0[waiting, lane]] += 1
+                        counters[slots1[waiting, lane]] += 1
+                queue[qn] = waiting
+                qn += 1
+                waiting += 1
+        else:
+            while waiting < n_vectors and qn < depth:
+                queue[qn] = waiting
+                qn += 1
+                waiting += 1
+
+        # ---- allocation passes -------------------------------------------
+        for bank in range(banks):
+            taken[bank] = False
+        for p in range(ipl):
+            # (lane, bank) -> oldest bidding queue position. Queue order is
+            # age order, so the first writer per pair is the oldest.
+            for lane in range(width):
+                for bank in range(banks):
+                    min_pos[lane, bank] = NO_POS
+            for d in range(qn):
+                vec = queue[d]
+                for lane in range(width):
+                    bank = pend[vec, lane]
+                    if bank >= 0 and min_pos[lane, bank] == NO_POS:
+                        min_pos[lane, bank] = d
+
+            n_grants = 0
+            if is_separable:
+                for lane in range(width):
+                    lane_done[lane] = False
+                for it in range(cutoffs.shape[0]):
+                    cut = cutoffs[it]
+                    if cut <= 0:
+                        continue
+                    # Stage 1: each lane keeps its lowest eligible bank.
+                    # Stage 2: each bank accepts its lowest bidding lane --
+                    # lanes scan in ascending order, so the first lane to
+                    # choose a bank wins it.
+                    it_grants = n_grants
+                    for lane in range(width):
+                        if lane_done[lane]:
+                            continue
+                        for bank in range(banks):
+                            if not taken[bank] and min_pos[lane, bank] < cut:
+                                grant_vec[n_grants] = bank
+                                grant_lane[n_grants] = lane
+                                n_grants += 1
+                                break
+                    # Resolve stage 2 for this iteration's bids: the bids
+                    # were recorded lane-ascending, so the first bid per
+                    # bank wins; losers are dropped.
+                    kept = it_grants
+                    for g in range(it_grants, n_grants):
+                        bank = grant_vec[g]
+                        lane = grant_lane[g]
+                        if not taken[bank]:
+                            taken[bank] = True
+                            lane_done[lane] = True
+                            d = min_pos[lane, bank]
+                            vec = queue[d]
+                            pend[vec, lane] = -1
+                            grant_vec[kept] = vec
+                            grant_lane[kept] = lane
+                            slot = (cycle + latency) % ring
+                            comp_vec[slot, comp_n[slot]] = vec
+                            comp_n[slot] += 1
+                            kept += 1
+                    n_grants = kept
+            else:
+                for lane in range(width):
+                    best = NO_POS
+                    best_bank = -1
+                    for bank in range(banks):
+                        if not taken[bank] and min_pos[lane, bank] < best:
+                            best = min_pos[lane, bank]
+                            best_bank = bank
+                    if best_bank >= 0:
+                        taken[best_bank] = True
+                        vec = queue[best]
+                        pend[vec, lane] = -1
+                        grant_vec[n_grants] = vec
+                        grant_lane[n_grants] = lane
+                        n_grants += 1
+                        slot = (cycle + latency) % ring
+                        comp_vec[slot, comp_n[slot]] = vec
+                        comp_n[slot] += 1
+
+            if n_grants == 0:
+                break
+            executed += n_grants
+
+            if is_ao:
+                # All membership checks read the counters as they stand
+                # after the pass's allocation, then all decrements apply --
+                # matching the batched engine's vectorized subtract.
+                for g in range(n_grants):
+                    grant_ok[g] = (
+                        counters[slots0[grant_vec[g], grant_lane[g]]] > 0
+                        and counters[slots1[grant_vec[g], grant_lane[g]]] > 0
+                    )
+                for g in range(n_grants):
+                    if grant_ok[g]:
+                        counters[slots0[grant_vec[g], grant_lane[g]]] -= 1
+                        counters[slots1[grant_vec[g], grant_lane[g]]] -= 1
+
+        # ---- completion and retirement -----------------------------------
+        slot = cycle % ring
+        for i in range(comp_n[slot]):
+            remaining[comp_vec[slot, i]] -= 1
+        comp_n[slot] = 0
+
+        removed = False
+        new_qn = 0
+        for d in range(qn):
+            vec = queue[d]
+            if remaining[vec] == 0:
+                removed = True
+            else:
+                queue[new_qn] = vec
+                new_qn += 1
+        qn = new_qn
+        cycle += 1
+        if removed and executed >= total and qn == 0 and waiting >= n_vectors:
+            return cycle, executed, stalls

@@ -17,9 +17,22 @@ the evaluation harnesses (:mod:`repro.eval`). It owns four concerns:
   studies cost profiles under;
 * :mod:`repro.runtime.dse` -- design-space exploration: batched costing of
   whole configuration grids (including structural axes) with Pareto-frontier
-  extraction over cycles and area.
+  extraction over cycles and area;
+* :mod:`repro.runtime.budget` -- the memory-budget planner: chunk-shape
+  cost models and the ``REPRO_MEMORY_BUDGET`` seam the batch engines
+  stream under.
 """
 
+from .budget import (
+    ENV_MEMORY_BUDGET,
+    ChunkPlan,
+    costing_chunk_platforms,
+    iter_chunked,
+    parse_memory_budget,
+    plan_chunks,
+    resolve_memory_budget,
+    variant_state_bytes,
+)
 from .registry import (
     AppSpec,
     RegistryError,
@@ -43,8 +56,16 @@ from .runner import ExperimentRunner, RunReport, TaskResult
 from .sweep import sweep
 
 __all__ = [
+    "ENV_MEMORY_BUDGET",
+    "ChunkPlan",
     "DSEResult",
     "ThroughputStore",
+    "costing_chunk_platforms",
+    "iter_chunked",
+    "parse_memory_budget",
+    "plan_chunks",
+    "resolve_memory_budget",
+    "variant_state_bytes",
     "explore",
     "pareto_frontier",
     "prefill_throughputs",

@@ -19,9 +19,12 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from .._budget import ENV_MEMORY_BUDGET, parse_memory_budget
+from .._compiled import set_default_backend
 from ..config import MemoryTechnology, ShuffleMode
 from ..core.ordering import OrderingMode
 from ..errors import CapstanError
@@ -29,6 +32,47 @@ from .cache import ProfileCache, default_cache_dir, profile_to_dict
 from .dse import explore, prefill_throughputs
 from .registry import RunContext, app_datasets, app_order
 from .runner import ExperimentRunner
+
+
+def _add_memory_budget_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--memory-budget",
+        default=None,
+        metavar="SIZE",
+        help=(
+            "byte budget for batched working sets, e.g. 64M or 2G; the batch "
+            "engines stream in chunks under it (default: $REPRO_MEMORY_BUDGET)"
+        ),
+    )
+
+
+def _apply_memory_budget(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None:
+    """Publish ``--memory-budget`` through the environment seam.
+
+    Exporting ``REPRO_MEMORY_BUDGET`` (rather than threading a parameter)
+    makes the budget reach every engine, including ones running in worker
+    processes spawned with a copy of the environment.
+    """
+    if args.memory_budget is None:
+        return
+    try:
+        budget = parse_memory_budget(args.memory_budget)
+    except CapstanError as exc:
+        parser.error(str(exc))
+    os.environ[ENV_MEMORY_BUDGET] = str(budget)
+
+
+def _resolve_backend(backend: str) -> str:
+    """Map the CLI backend onto the profiling-kernel backend seam.
+
+    ``numba`` selects the compiled process default (SpMU scheduling and the
+    packed-word kernels); the profiling kernels themselves stay on the
+    vectorized path, which the compiled engines treat as their fallback.
+    """
+    if backend == "numba":
+        set_default_backend("numba")
+        return "vectorized"
+    return backend
 
 
 def _parse_scale(text: str) -> float:
@@ -66,10 +110,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--backend",
-        choices=("vectorized", "reference"),
+        choices=("vectorized", "reference", "numba"),
         default="vectorized",
-        help="profiling-kernel backend (reference = per-element loop kernels)",
+        help=(
+            "kernel backend (reference = per-element loop kernels; numba = "
+            "compiled SpMU/packed kernels when numba is installed, falling "
+            "back to the vectorized path otherwise)"
+        ),
     )
+    _add_memory_budget_argument(parser)
     parser.add_argument(
         "-j", "--workers", type=int, default=None,
         help="process-pool size (default: $REPRO_EVAL_WORKERS or serial)",
@@ -182,10 +231,11 @@ def build_dse_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--backend",
-        choices=("vectorized", "reference"),
+        choices=("vectorized", "reference", "numba"),
         default="vectorized",
-        help="profiling-kernel backend",
+        help="kernel backend (numba = compiled kernels when installed)",
     )
+    _add_memory_budget_argument(parser)
     parser.add_argument(
         "-j", "--workers", type=int, default=None,
         help="process-pool size for profile collection",
@@ -223,6 +273,7 @@ def build_dse_parser() -> argparse.ArgumentParser:
 def _dse_main(argv: List[str]) -> int:
     parser = build_dse_parser()
     args = parser.parse_args(argv)
+    _apply_memory_budget(parser, args)
 
     axes: Dict[str, List[Any]] = {}
     try:
@@ -271,7 +322,7 @@ def _dse_main(argv: List[str]) -> int:
         scale=args.scale,
         pagerank_iterations=args.pagerank_iterations,
         conv_scale=args.conv_scale,
-        backend=args.backend,
+        backend=_resolve_backend(args.backend),
     )
     try:
         result = explore(apps=apps, context=context, workers=args.workers, cache=cache, **axes)
@@ -310,8 +361,9 @@ def _dse_main(argv: List[str]) -> int:
             "tasks": [{"app": app, "dataset": dataset} for app, dataset in result.tasks],
             "variants": result.rows(),
             "frontier": list(frontier),
-            "cycles": [[float(c) for c in row] for row in result.cycles],
         }
+        if result.batch is not None:
+            payload["cycles"] = [[float(c) for c in row] for row in result.cycles]
         with open(args.json, "w") as handle:
             json.dump(payload, handle, indent=2)
         print(f"wrote {args.json}")
@@ -322,7 +374,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "dse":
         return _dse_main(argv[1:])
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    _apply_memory_budget(parser, args)
 
     if args.list:
         for app, datasets in app_datasets().items():
@@ -354,7 +408,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         scale=args.scale,
         pagerank_iterations=args.pagerank_iterations,
         conv_scale=args.conv_scale,
-        backend=args.backend,
+        backend=_resolve_backend(args.backend),
     )
     runner = ExperimentRunner(
         context=context,

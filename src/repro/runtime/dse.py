@@ -20,11 +20,14 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tupl
 
 import numpy as np
 
+from .._budget import resolve_memory_budget
 from ..apps.profile import WorkloadProfile
 from ..apps.timing import (
+    COSTING_BYTES_PER_CELL,
     BatchCostResult,
     CapstanPlatform,
     estimate_cycles_batch,
+    iter_cycles_batches,
     platform_throughput_variant,
 )
 from ..core.area import capstan_area
@@ -86,14 +89,16 @@ class DSEResult:
     Attributes:
         variants: The swept platforms by variant name, in sweep order.
         tasks: The ``(app, dataset)`` coordinates of each profile row.
-        batch: The full per-cell costing (cycles and stall categories).
+        batch: The full per-cell costing (cycles and stall categories), or
+            ``None`` when the exploration streamed the grid out under a
+            memory budget instead of materializing it.
         area_mm2: Modelled chip area per variant.
         gmean_cycles: Geometric-mean cycles over all profiles per variant.
     """
 
     variants: Dict[str, CapstanPlatform]
     tasks: List[Tuple[str, str]]
-    batch: BatchCostResult
+    batch: Optional[BatchCostResult]
     area_mm2: np.ndarray
     gmean_cycles: np.ndarray
     _frontier: Optional[Tuple[str, ...]] = field(default=None, repr=False)
@@ -106,6 +111,11 @@ class DSEResult:
     @property
     def cycles(self) -> np.ndarray:
         """Per-cell cycles, shape ``(len(tasks), len(variants))``."""
+        if self.batch is None:
+            raise ConfigurationError(
+                "per-cell cycles were streamed out under the memory budget; "
+                "pass keep_grid=True (or drop the budget) to materialize them"
+            )
         return self.batch.cycles
 
     def frontier(self) -> Tuple[str, ...]:
@@ -139,6 +149,8 @@ def explore(
     context: Optional[RunContext] = None,
     workers: Optional[int] = None,
     cache: Union[ProfileCache, bool, None] = True,
+    memory_budget: Optional[int] = None,
+    keep_grid: Optional[bool] = None,
     **axes: Iterable[Any],
 ) -> DSEResult:
     """Cost the evaluation workloads over a configuration grid.
@@ -153,6 +165,16 @@ def explore(
             given).
         context: Run parameters for profile collection (scale etc.).
         workers / cache: Forwarded to the :class:`ExperimentRunner`.
+        memory_budget: Byte budget for the costing working set; the
+            (profile x variant) cross-product streams through it chunk by
+            chunk with the geometric-mean / Pareto state folded
+            incrementally (identical floats -- each chunk carries complete
+            profile columns). ``None`` defers to ``REPRO_MEMORY_BUDGET``.
+        keep_grid: Materialize the full :class:`BatchCostResult` grid.
+            Defaults to ``True`` without a budget, and under a budget to
+            whether the full grid itself fits in it; when ``False`` the
+            result's ``batch`` is ``None`` and only the aggregate arrays
+            (gmean cycles, area, frontier) are kept.
         **axes: Sweep axes, e.g. ``lanes=(8, 16, 32), banks=(8, 16)``.
 
     Returns:
@@ -170,11 +192,38 @@ def explore(
     else:
         collected = list(profiles)
         tasks = [(p.app, p.dataset) for p in collected]
-    batch = estimate_cycles_batch(collected, list(variants.values()))
+    budget = resolve_memory_budget(memory_budget)
+    if keep_grid is None:
+        keep_grid = (
+            budget is None
+            or len(collected) * len(variants) * COSTING_BYTES_PER_CELL <= budget
+        )
+    platform_list = list(variants.values())
+    if keep_grid:
+        batch: Optional[BatchCostResult] = estimate_cycles_batch(
+            collected, platform_list, memory_budget=budget
+        )
+        gmean_cycles = np.array(
+            [
+                geometric_mean([float(c) for c in batch.cycles[:, j]])
+                for j in range(len(variants))
+            ]
+        )
+    else:
+        # Stream the cross-product: each chunk carries complete profile
+        # columns, so per-column gmeans fold in with identical floats and
+        # the per-cell grid never has to exist at once.
+        batch = None
+        gmean_parts: List[float] = []
+        for _, chunk_batch in iter_cycles_batches(
+            collected, platform_list, memory_budget=budget
+        ):
+            gmean_parts.extend(
+                geometric_mean([float(c) for c in chunk_batch.cycles[:, j]])
+                for j in range(chunk_batch.cycles.shape[1])
+            )
+        gmean_cycles = np.asarray(gmean_parts, dtype=np.float64)
     area_mm2 = np.array([capstan_area(v.config).total_mm2 for v in variants.values()])
-    gmean_cycles = np.array(
-        [geometric_mean([float(c) for c in batch.cycles[:, j]]) for j in range(len(variants))]
-    )
     return DSEResult(
         variants=variants,
         tasks=tasks,

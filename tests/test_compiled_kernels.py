@@ -1,0 +1,265 @@
+"""The optional compiled backend: backend lattice + scalar-kernel identity.
+
+Three contracts:
+
+* the backend seam (:mod:`repro._compiled`) resolves ``None`` / aliases /
+  ``numba`` correctly and falls back to numpy with a one-time warning when
+  numba is absent;
+* the scalar per-cycle SpMU kernel (:mod:`repro.core.spmu_kernel`) is
+  stat-for-stat identical to the lock-step array engine -- pinned on the
+  plain-Python rendition, so the contract holds with or without numba;
+* the packed-word loop kernels (:mod:`repro.formats.packed`) are
+  element-for-element identical to the vectorized numpy kernels, and the
+  ``_use_compiled`` dispatch routes the public functions through them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import _compiled
+from repro._compiled import HAS_NUMBA, njit, resolve_backend, set_default_backend
+from repro.config import SpMUConfig
+from repro.core.ordering import OrderingMode
+from repro.core.spmu import RequestTrace, SpMUVariant, random_request_vectors
+from repro.core.spmu_array import (
+    _simulate_scheduled_compiled,
+    _simulate_scheduled_lockstep,
+    prepare_trace,
+    simulate_variants,
+)
+from repro.errors import ConfigurationError
+from repro.formats import packed
+
+SCHEDULED_ORDERINGS = (OrderingMode.UNORDERED, OrderingMode.ADDRESS_ORDERED)
+
+
+@pytest.fixture
+def clean_backend(monkeypatch):
+    """Default backend restored and fallback warnings re-armed per test."""
+    monkeypatch.setattr(_compiled, "_DEFAULT_BACKEND", "numpy")
+    monkeypatch.setattr(_compiled, "_WARNED_FALLBACKS", set())
+
+
+class TestBackendLattice:
+    def test_default_is_numpy(self, clean_backend):
+        assert resolve_backend(None) == "numpy"
+
+    def test_aliases_map_to_numpy(self, clean_backend):
+        assert resolve_backend("array") == "numpy"
+        assert resolve_backend("vectorized") == "numpy"
+
+    def test_unknown_backend_rejected(self, clean_backend):
+        with pytest.raises(ConfigurationError):
+            resolve_backend("cuda")
+        with pytest.raises(ConfigurationError):
+            set_default_backend("reference")
+
+    def test_set_default_backend_roundtrip(self, clean_backend):
+        set_default_backend("numba")
+        assert _compiled.default_backend() == "numba"
+        set_default_backend("numpy")
+        assert _compiled.default_backend() == "numpy"
+
+    @pytest.mark.skipif(HAS_NUMBA, reason="fallback only exists without numba")
+    def test_numba_fallback_warns_once_per_feature(self, clean_backend):
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            assert resolve_backend("numba", feature="feature-a") == "numpy"
+        # Second resolve of the same feature is silent.
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_backend("numba", feature="feature-a") == "numpy"
+        with pytest.warns(RuntimeWarning):
+            assert resolve_backend("numba", feature="feature-b") == "numpy"
+
+    @pytest.mark.skipif(HAS_NUMBA, reason="shim only active without numba")
+    def test_njit_is_identity_without_numba(self):
+        def kernel(x):
+            return x + 1
+
+        assert njit(kernel) is kernel
+        assert njit(cache=True)(kernel) is kernel
+
+
+def _scheduled_pair(ordering, allocator, depth, crossbar, seed, count=4, lanes=16):
+    variant = SpMUVariant(
+        ordering=ordering,
+        allocator_kind=allocator,
+        config=SpMUConfig(queue_depth=depth, crossbar_inputs=crossbar),
+    )
+    trace = RequestTrace.from_vectors(
+        random_request_vectors(count, lanes=lanes, address_space=512, seed=seed)
+    )
+    return variant, prepare_trace(trace)
+
+
+def _stats(results):
+    return [
+        (
+            r.cycles,
+            r.requests,
+            r.elided_reads,
+            r.bank_busy_cycles,
+            r.vectors,
+            r.stall_cycles_ordering,
+        )
+        for r in results
+    ]
+
+
+class TestScheduledKernelEquivalence:
+    @pytest.mark.parametrize("ordering", SCHEDULED_ORDERINGS, ids=lambda o: o.value)
+    @pytest.mark.parametrize("allocator", ("separable", "greedy"))
+    @given(
+        depth=st.sampled_from((1, 4, 16)),
+        crossbar=st.sampled_from((16, 32)),
+        seed=st.integers(min_value=0, max_value=2_000),
+        count=st.integers(min_value=0, max_value=6),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_kernel_matches_lockstep(
+        self, ordering, allocator, depth, crossbar, seed, count
+    ):
+        variant, prep = _scheduled_pair(
+            ordering, allocator, depth, crossbar, seed, count=count
+        )
+        lockstep = _simulate_scheduled_lockstep([variant], [prep], False, False)
+        compiled = _simulate_scheduled_compiled([variant], [prep])
+        assert _stats(compiled) == _stats(lockstep)
+
+    def test_mixed_grid_matches(self):
+        variants, preps = [], []
+        for seed, (ordering, allocator, depth) in enumerate(
+            [
+                (OrderingMode.UNORDERED, "separable", 4),
+                (OrderingMode.ADDRESS_ORDERED, "separable", 8),
+                (OrderingMode.UNORDERED, "greedy", 16),
+                (OrderingMode.ADDRESS_ORDERED, "greedy", 4),
+            ]
+        ):
+            variant, prep = _scheduled_pair(ordering, allocator, depth, 32, seed)
+            variants.append(variant)
+            preps.append(prep)
+        lockstep = _simulate_scheduled_lockstep(variants, preps, False, False)
+        compiled = _simulate_scheduled_compiled(variants, preps)
+        assert _stats(compiled) == _stats(lockstep)
+
+    def test_public_numba_backend_matches_default(self, clean_backend):
+        variants, traces = [], []
+        for seed, ordering in enumerate(SCHEDULED_ORDERINGS):
+            variants.append(
+                SpMUVariant(ordering=ordering, config=SpMUConfig(queue_depth=8))
+            )
+            traces.append(
+                RequestTrace.from_vectors(
+                    random_request_vectors(3, lanes=16, address_space=256, seed=seed)
+                )
+            )
+        default = simulate_variants(variants, traces)
+        if HAS_NUMBA:
+            compiled = simulate_variants(variants, traces, backend="numba")
+        else:
+            with pytest.warns(RuntimeWarning, match="numba"):
+                compiled = simulate_variants(variants, traces, backend="numba")
+        assert _stats(compiled) == _stats(default)
+
+
+@st.composite
+def _packed_case(draw):
+    length = draw(st.integers(min_value=1, max_value=400))
+    indices = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=length - 1),
+            unique=True,
+            max_size=length,
+        )
+    )
+    return length, np.sort(np.asarray(indices, dtype=np.int64))
+
+
+class TestPackedKernelEquivalence:
+    @given(case=_packed_case(), word_bits=st.sampled_from((32, 64)))
+    @settings(max_examples=60, deadline=None)
+    def test_pack_indices_kernel(self, case, word_bits):
+        length, indices = case
+        want = packed.pack_indices(indices, length, word_bits)
+        got = packed._pack_indices_kernel(
+            indices, packed.word_count(length, word_bits), word_bits
+        )
+        assert np.array_equal(want, got)
+
+    @given(case=_packed_case())
+    @settings(max_examples=60, deadline=None)
+    def test_popcount_and_rank_kernels(self, case):
+        length, indices = case
+        words = packed.pack_indices(indices, length)
+        assert np.array_equal(packed.popcount(words), packed._popcount_kernel(words))
+        positions = np.arange(length, dtype=np.int64)
+        assert np.array_equal(
+            packed.rank(words, positions),
+            packed._rank_kernel(np.ascontiguousarray(words), positions),
+        )
+
+    @given(case=_packed_case(), seed=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=40, deadline=None)
+    def test_intersect_union_kernels(self, case, seed):
+        length, indices = case
+        a = packed.pack_indices(indices, length)
+        b = packed.pack_mask(np.random.default_rng(seed).random(length) < 0.4)
+        assert np.array_equal(
+            packed.intersect_words(a, b), packed._intersect_kernel(a, b)
+        )
+        assert np.array_equal(packed.union_words(a, b), packed._union_kernel(a, b))
+
+    def test_dispatch_routes_through_kernels(self, clean_backend, monkeypatch):
+        """With the numba default selected (and the import pretending to be
+        available), the public functions route through the loop kernels and
+        still match the numpy results."""
+        monkeypatch.setattr(packed, "HAS_NUMBA", True)
+        rng = np.random.default_rng(5)
+        indices = np.sort(rng.choice(200, size=60, replace=False)).astype(np.int64)
+        other = packed.pack_mask(rng.random(200) < 0.3)
+        numpy_words = packed.pack_indices(indices, 200)
+        numpy_pop = packed.popcount(numpy_words)
+        numpy_rank = packed.rank(numpy_words, np.arange(200, dtype=np.int64))
+        numpy_and = packed.intersect_words(numpy_words, other)
+        numpy_or = packed.union_words(numpy_words, other)
+
+        set_default_backend("numba")
+        assert packed._use_compiled()
+        assert np.array_equal(packed.pack_indices(indices, 200), numpy_words)
+        assert np.array_equal(packed.popcount(numpy_words), numpy_pop)
+        assert np.array_equal(
+            packed.rank(numpy_words, np.arange(200, dtype=np.int64)), numpy_rank
+        )
+        assert np.array_equal(packed.intersect_words(numpy_words, other), numpy_and)
+        assert np.array_equal(packed.union_words(numpy_words, other), numpy_or)
+
+    def test_dispatch_off_by_default(self, clean_backend):
+        assert not packed._use_compiled()
+
+
+@pytest.mark.skipif(not HAS_NUMBA, reason="numba not installed")
+class TestJittedKernels:
+    """Only runs in the optional-dependency CI job (numba installed)."""
+
+    def test_spmu_kernel_is_jitted_and_matches(self):
+        from repro.core import spmu_kernel
+
+        assert hasattr(spmu_kernel.simulate_scheduled_single, "py_func")
+        variant, prep = _scheduled_pair(
+            OrderingMode.ADDRESS_ORDERED, "separable", 8, 32, seed=3
+        )
+        lockstep = _simulate_scheduled_lockstep([variant], [prep], False, False)
+        compiled = _simulate_scheduled_compiled([variant], [prep])
+        assert _stats(compiled) == _stats(lockstep)
+
+    def test_packed_kernels_are_jitted(self):
+        assert hasattr(packed._popcount_kernel, "py_func")
+        words = packed.pack_indices(np.asarray([0, 5, 63, 64]), 128)
+        assert np.array_equal(packed._popcount_kernel(words), packed.popcount(words))
