@@ -15,20 +15,33 @@ grid: ``scan_batch`` against the element-at-a-time scan loop, the batched
 ``convert_many`` against its tile loop, and the vectorized bit-tree build
 against the ``set()`` loop), recorded under ``formats``.
 
-With ``--baseline`` the run additionally compares its cold vectorized time,
-batched costing time, array SpMU grid time, and format-substrate batch time
-against a committed record and fails (exit code 1) when any regressed by
-more than ``--max-slowdown`` (the CI ``bench-smoke`` job's contract). The
-costing, SpMU, and formats records are also gated unconditionally: each
-batched path must be bit-identical to its reference and at least
-``--min-batch-speedup`` / ``--min-spmu-speedup`` / ``--min-formats-speedup``
-times faster.
+Every run is appended to the SQLite experiment store
+(:class:`repro.runtime.runstore.RunStore`; ``--run-db`` / ``REPRO_RUN_DB``,
+``--no-run-db`` to skip) and then evaluated through the declarative gate in
+:mod:`repro.eval.regression`: identity flags and absolute speedup floors
+come from ``benchmarks/expectations.toml`` (``--expectations`` to
+substitute), and per-section time ratios are checked against a baseline --
+either a committed JSON record (``--baseline BENCH_runner.json``) or a
+named snapshot frozen in the store (``--compare-baseline NAME``;
+``--snapshot-baseline NAME`` freezes the current run). The legacy
+``--max-slowdown`` / ``--min-*-speedup`` / ``--max-peak-ratio`` flags
+remain as one-shot overrides of the corresponding expectation entries. A
+baseline recorded at a different scale is a categorized ``scale-mismatch``
+outcome (ratios skipped, absolute gates still enforced), not a hard error.
+Exit code 1 means the comparison report failed.
+
+``--replay RECORD.json`` skips benchmark execution and pushes an existing
+record through the same store/compare/verdict pipeline -- useful for
+re-evaluating an artifact under new expectations and for testing the gate
+itself.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_runner.py [--scale 1/16] [--workers 4]
     PYTHONPATH=src python benchmarks/bench_runner.py --no-reference \\
         --baseline BENCH_runner.json --output bench-ci.json
+    PYTHONPATH=src python benchmarks/bench_runner.py --replay BENCH_runner.json \\
+        --compare-baseline main --summary report.md
 """
 
 from __future__ import annotations
@@ -56,9 +69,21 @@ from repro.config import MemoryTechnology, ShuffleMode, SpMUConfig
 from repro.core.ordering import OrderingMode
 from repro.core.spmu import effective_bank_throughput_batch
 from repro.core.spmu_array import SpMUVariant
+from repro.errors import CapstanError
 from repro.eval.experiments import collect_profiles
+from repro.eval.regression import (
+    compare_to_baseline,
+    default_expectations,
+    detect_trends,
+    format_comparison_markdown,
+    format_comparison_report,
+    format_trends,
+    load_expectations,
+    set_expectation,
+)
 from repro.runtime.cache import ProfileCache
 from repro.runtime.cli import _parse_scale
+from repro.runtime.runstore import RunStore
 from repro.runtime.sweep import sweep
 
 
@@ -473,107 +498,49 @@ def _bench_chunked(profiles) -> dict:
     }
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--scale", default="1/16", help="dataset scale (default 1/16)")
-    parser.add_argument("--workers", type=int, default=4, help="parallel pool size")
-    parser.add_argument(
-        "--no-reference",
-        action="store_true",
-        help="skip the (slow) reference-backend pass",
+def _resolve_expectations(args) -> dict:
+    """Load the declarative gate and apply any legacy flag overrides.
+
+    Sections skipped by ``--no-*`` flags are pruned so a deliberately
+    partial run does not read as a ``missing-section`` failure.
+    """
+    if args.expectations:
+        expectations = load_expectations(args.expectations)
+    else:
+        bundled = Path(__file__).resolve().parent / "expectations.toml"
+        expectations = (
+            load_expectations(bundled) if bundled.exists() else default_expectations()
+        )
+    if args.max_slowdown is not None:
+        for spec in expectations["sections"].values():
+            for metric in spec.get("compare", {}):
+                spec["compare"][metric] = args.max_slowdown
+    overrides = (
+        (args.min_batch_speedup, "costing", "min", "batch_speedup"),
+        (args.min_spmu_speedup, "spmu", "min", "speedup"),
+        (args.min_formats_speedup, "formats", "min", "speedup"),
+        (args.min_numba_speedup, "chunked", "min", "spmu_numba_speedup"),
+        (args.max_peak_ratio, "chunked", "max", "peak_ratio"),
     )
-    parser.add_argument(
-        "--baseline",
-        default=None,
-        help="committed benchmark record to regression-check the cold vectorized time against",
-    )
-    parser.add_argument(
-        "--max-slowdown",
-        type=float,
-        default=2.0,
-        help="fail when cold_serial_s exceeds baseline by this factor (default 2.0)",
-    )
-    parser.add_argument(
-        "--no-costing",
-        action="store_true",
-        help="skip the batched-costing benchmark",
-    )
-    parser.add_argument(
-        "--min-batch-speedup",
-        type=float,
-        default=5.0,
-        help="fail when batched costing is not this much faster than the scalar loop",
-    )
-    parser.add_argument(
-        "--no-spmu",
-        action="store_true",
-        help="skip the SpMU microbenchmark-grid benchmark",
-    )
-    parser.add_argument(
-        "--no-formats",
-        action="store_true",
-        help="skip the format-substrate (scan/convert/construct) benchmark",
-    )
-    parser.add_argument(
-        "--min-formats-speedup",
-        type=float,
-        default=3.0,
-        help=(
-            "fail when the format-substrate batch paths are not this much "
-            "faster than the retained object-at-a-time references"
-        ),
-    )
-    parser.add_argument(
-        "--min-spmu-speedup",
-        type=float,
-        default=6.0,
-        help=(
-            "fail when the array SpMU backend is not this much faster than the "
-            "reference loop over the cold 128-variant grid"
-        ),
-    )
-    parser.add_argument(
-        "--no-chunked",
-        action="store_true",
-        help="skip the memory-bounded chunked-execution benchmark",
-    )
-    parser.add_argument(
-        "--max-peak-ratio",
-        type=float,
-        default=1.5,
-        help=(
-            "fail when streaming the 4096-variant grid under budget peaks at "
-            "more than this multiple of a plain 128-variant run (default 1.5)"
-        ),
-    )
-    parser.add_argument(
-        "--min-numba-speedup",
-        type=float,
-        default=3.0,
-        help=(
-            "fail when the compiled SpMU kernel is not this much faster than "
-            "the lock-step engine (only checked when numba is installed)"
-        ),
-    )
-    parser.add_argument(
-        "--output",
-        default=str(Path(__file__).resolve().parent.parent / "BENCH_runner.json"),
-        help="where to write the benchmark record",
-    )
-    args = parser.parse_args(argv)
-    scale = _parse_scale(args.scale)
+    for value, section, kind, metric in overrides:
+        if value is not None:
+            set_expectation(expectations, section, kind, value, metric)
+    for skipped, section in (
+        (args.no_costing, "costing"),
+        (args.no_spmu, "spmu"),
+        (args.no_formats, "formats"),
+        (args.no_chunked, "chunked"),
+    ):
+        if skipped:
+            expectations["sections"].pop(section, None)
+    return expectations
+
+
+def _run_benchmarks(args, scale: float) -> dict:
+    """Execute every enabled benchmark section and build the record."""
     # An ambient budget would silently chunk every section; the chunked
     # section sets its own explicit budget where one is wanted.
     os.environ.pop("REPRO_MEMORY_BUDGET", None)
-    # Read the baseline up front: --output may overwrite the same file.
-    baseline = json.loads(Path(args.baseline).read_text()) if args.baseline else None
-    if baseline is not None and baseline.get("scale") != scale:
-        print(
-            f"baseline was recorded at scale {baseline.get('scale')}, not {scale}; "
-            "the regression check would compare different workloads",
-            file=sys.stderr,
-        )
-        return 2
 
     # Warm the in-process dataset-generation cache so every configuration
     # below measures profiling cost, not synthetic-matrix generation. The
@@ -613,185 +580,204 @@ def main(argv=None) -> int:
             else round(reference_serial_s / uncached_s, 2)
         ),
     }
-    costing = None
+    profiles = [profile_set.profiles[key] for key in sorted(profile_set.profiles)]
     if not args.no_costing:
-        profiles = [profile_set.profiles[key] for key in sorted(profile_set.profiles)]
-        costing = _bench_costing(profiles)
-        record["costing"] = costing
-    spmu = None
+        record["costing"] = _bench_costing(profiles)
     if not args.no_spmu:
-        spmu = _bench_spmu()
-        record["spmu"] = spmu
-    formats = None
+        record["spmu"] = _bench_spmu()
     if not args.no_formats:
-        formats = _bench_formats()
-        record["formats"] = formats
-    chunked = None
+        record["formats"] = _bench_formats()
     if not args.no_chunked:
-        profiles = [profile_set.profiles[key] for key in sorted(profile_set.profiles)]
-        chunked = _bench_chunked(profiles)
-        record["chunked"] = chunked
-    Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
-    print(json.dumps(record, indent=2))
+        record["chunked"] = _bench_chunked(profiles)
+    return record
 
-    failed = False
-    if chunked is not None:
-        if not chunked["identical"]:
-            print(
-                "REGRESSION: memory-bounded chunked costing diverged from the "
-                "unchunked grid",
-                file=sys.stderr,
-            )
-            failed = True
-        if chunked["peak_ratio"] > args.max_peak_ratio:
-            print(
-                f"REGRESSION: streaming the {chunked['variants']}-variant grid "
-                f"peaked at {chunked['peak_ratio']}x the 128-variant run "
-                f"(limit {args.max_peak_ratio}x; "
-                f"{chunked['peak_streamed_mb']}MB vs {chunked['peak_small_mb']}MB)",
-                file=sys.stderr,
-            )
-            failed = True
-        if (
-            chunked["spmu_numba_speedup"] is not None
-            and chunked["spmu_numba_speedup"] < args.min_numba_speedup
-        ):
-            print(
-                f"REGRESSION: compiled SpMU kernel speedup "
-                f"{chunked['spmu_numba_speedup']}x is below the required "
-                f"{args.min_numba_speedup}x",
-                file=sys.stderr,
-            )
-            failed = True
-    if formats is not None:
-        if not formats["identical"]:
-            print(
-                "REGRESSION: a format-substrate batch path diverged from its "
-                "object-at-a-time reference",
-                file=sys.stderr,
-            )
-            failed = True
-        if formats["speedup"] < args.min_formats_speedup:
-            print(
-                f"REGRESSION: format-substrate speedup {formats['speedup']}x is "
-                f"below the required {args.min_formats_speedup}x "
-                f"({formats['reference_s']}s reference vs {formats['batch_s']}s batch)",
-                file=sys.stderr,
-            )
-            failed = True
-    if spmu is not None:
-        if not spmu["identical"]:
-            print(
-                "REGRESSION: the array SpMU backend's throughputs diverged from "
-                "the reference simulator",
-                file=sys.stderr,
-            )
-            failed = True
-        if spmu["speedup"] < args.min_spmu_speedup:
-            print(
-                f"REGRESSION: SpMU grid speedup {spmu['speedup']}x is below the "
-                f"required {args.min_spmu_speedup}x "
-                f"({spmu['reference_s']}s reference vs {spmu['array_s']}s array)",
-                file=sys.stderr,
-            )
-            failed = True
-    if costing is not None:
-        if not costing["identical"]:
-            print(
-                "REGRESSION: estimate_cycles_batch diverged from the scalar "
-                "estimate_cycles loop",
-                file=sys.stderr,
-            )
-            failed = True
-        if costing["batch_speedup"] < args.min_batch_speedup:
-            print(
-                f"REGRESSION: batched costing speedup {costing['batch_speedup']}x is "
-                f"below the required {args.min_batch_speedup}x "
-                f"({costing['scalar_s']}s scalar vs {costing['batch_s']}s batched)",
-                file=sys.stderr,
-            )
-            failed = True
-    if baseline is not None:
-        budget = baseline["cold_serial_s"] * args.max_slowdown
-        if cold_serial_s > budget:
-            print(
-                f"REGRESSION: cold_serial_s {cold_serial_s:.3f}s exceeds "
-                f"{args.max_slowdown}x the baseline ({baseline['cold_serial_s']}s "
-                f"at scale {baseline['scale']})",
-                file=sys.stderr,
-            )
-            failed = True
-        else:
-            print(
-                f"baseline check ok: {cold_serial_s:.3f}s <= {budget:.3f}s "
-                f"({args.max_slowdown}x of {baseline['cold_serial_s']}s)"
-            )
-        baseline_spmu = baseline.get("spmu")
-        if spmu is not None and baseline_spmu is not None:
-            spmu_budget = baseline_spmu["array_s"] * args.max_slowdown
-            if spmu["array_s"] > spmu_budget:
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", default="1/16", help="dataset scale (default 1/16)")
+    parser.add_argument("--workers", type=int, default=4, help="parallel pool size")
+    parser.add_argument(
+        "--no-reference",
+        action="store_true",
+        help="skip the (slow) reference-backend pass",
+    )
+    parser.add_argument(
+        "--replay",
+        default=None,
+        metavar="RECORD",
+        help=(
+            "skip benchmark execution and push this existing record through "
+            "the store/compare/verdict pipeline instead"
+        ),
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="committed benchmark record (JSON) to ratio-check this run against",
+    )
+    parser.add_argument(
+        "--expectations",
+        default=None,
+        help=(
+            "expectations TOML with the per-section gate "
+            "(default: benchmarks/expectations.toml)"
+        ),
+    )
+    parser.add_argument(
+        "--run-db",
+        default=None,
+        help="run-store database path (default: $REPRO_RUN_DB or ~/.cache/repro/runs.sqlite)",
+    )
+    parser.add_argument(
+        "--no-run-db",
+        action="store_true",
+        help="do not record this run in the experiment store",
+    )
+    parser.add_argument(
+        "--label",
+        default=None,
+        help="free-form label stored with the run (e.g. a branch or CI run id)",
+    )
+    parser.add_argument(
+        "--snapshot-baseline",
+        default=None,
+        metavar="NAME",
+        help="freeze this run as the named baseline in the store",
+    )
+    parser.add_argument(
+        "--compare-baseline",
+        default=None,
+        metavar="NAME",
+        help=(
+            "ratio-check against this named store baseline (ignored when "
+            "--baseline is also given; absolute checks only when the name "
+            "does not exist yet)"
+        ),
+    )
+    parser.add_argument(
+        "--summary",
+        default=None,
+        metavar="PATH",
+        help="append the comparison report as markdown here (e.g. $GITHUB_STEP_SUMMARY)",
+    )
+    parser.add_argument(
+        "--max-slowdown",
+        type=float,
+        default=None,
+        help="override every per-section baseline ratio limit (expectations default: 2.0)",
+    )
+    parser.add_argument(
+        "--no-costing",
+        action="store_true",
+        help="skip the batched-costing benchmark",
+    )
+    parser.add_argument(
+        "--min-batch-speedup",
+        type=float,
+        default=None,
+        help="override the batched-costing speedup floor (expectations default: 5.0)",
+    )
+    parser.add_argument(
+        "--no-spmu",
+        action="store_true",
+        help="skip the SpMU microbenchmark-grid benchmark",
+    )
+    parser.add_argument(
+        "--no-formats",
+        action="store_true",
+        help="skip the format-substrate (scan/convert/construct) benchmark",
+    )
+    parser.add_argument(
+        "--min-formats-speedup",
+        type=float,
+        default=None,
+        help="override the format-substrate speedup floor (expectations default: 3.0)",
+    )
+    parser.add_argument(
+        "--min-spmu-speedup",
+        type=float,
+        default=None,
+        help="override the array-SpMU speedup floor (expectations default: 6.0)",
+    )
+    parser.add_argument(
+        "--no-chunked",
+        action="store_true",
+        help="skip the memory-bounded chunked-execution benchmark",
+    )
+    parser.add_argument(
+        "--max-peak-ratio",
+        type=float,
+        default=None,
+        help="override the streamed-peak ratio limit (expectations default: 1.5)",
+    )
+    parser.add_argument(
+        "--min-numba-speedup",
+        type=float,
+        default=None,
+        help=(
+            "override the compiled-SpMU speedup floor (expectations default: "
+            "3.0; only checked when numba is installed)"
+        ),
+    )
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_runner.json"),
+        help="where to write the benchmark record",
+    )
+    args = parser.parse_args(argv)
+    try:
+        expectations = _resolve_expectations(args)
+    except (CapstanError, OSError) as exc:
+        parser.error(str(exc))
+    if args.compare_baseline and args.no_run_db:
+        parser.error("--compare-baseline needs the run store (drop --no-run-db)")
+
+    # Read the baseline up front: --output may overwrite the same file.
+    baseline = json.loads(Path(args.baseline).read_text()) if args.baseline else None
+
+    if args.replay:
+        record = json.loads(Path(args.replay).read_text())
+    else:
+        record = _run_benchmarks(args, _parse_scale(args.scale))
+        Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
+        print(json.dumps(record, indent=2))
+
+    store = None
+    trends = []
+    if not args.no_run_db:
+        store = RunStore(Path(args.run_db)) if args.run_db else RunStore()
+        run_id = store.record_run(record, label=args.label)
+        print(f"recorded run {run_id} in {store.path}")
+        if args.snapshot_baseline:
+            store.snapshot_baseline(args.snapshot_baseline, run_id=run_id)
+            print(f"froze baseline {args.snapshot_baseline!r} from run {run_id}")
+        if args.compare_baseline and baseline is None:
+            stored = store.baseline(args.compare_baseline)
+            if stored is None:
+                # First run against a fresh store: nothing to ratio-check
+                # yet, so fall through to the absolute-only report.
                 print(
-                    f"REGRESSION: SpMU array grid {spmu['array_s']:.3f}s exceeds "
-                    f"{args.max_slowdown}x the baseline ({baseline_spmu['array_s']}s)",
+                    f"no baseline {args.compare_baseline!r} in {store.path}; "
+                    "running absolute checks only",
                     file=sys.stderr,
                 )
-                failed = True
             else:
-                print(
-                    f"spmu check ok: {spmu['array_s']:.3f}s <= {spmu_budget:.3f}s "
-                    f"({args.max_slowdown}x of {baseline_spmu['array_s']}s)"
-                )
-        baseline_formats = baseline.get("formats")
-        if formats is not None and baseline_formats is not None:
-            formats_budget = baseline_formats["batch_s"] * args.max_slowdown
-            if formats["batch_s"] > formats_budget:
-                print(
-                    f"REGRESSION: format-substrate batch {formats['batch_s']:.4f}s "
-                    f"exceeds {args.max_slowdown}x the baseline "
-                    f"({baseline_formats['batch_s']}s)",
-                    file=sys.stderr,
-                )
-                failed = True
-            else:
-                print(
-                    f"formats check ok: {formats['batch_s']:.4f}s <= "
-                    f"{formats_budget:.4f}s ({args.max_slowdown}x of "
-                    f"{baseline_formats['batch_s']}s)"
-                )
-        baseline_chunked = baseline.get("chunked")
-        if chunked is not None and baseline_chunked is not None:
-            chunked_budget = baseline_chunked["chunked_s"] * args.max_slowdown
-            if chunked["chunked_s"] > chunked_budget:
-                print(
-                    f"REGRESSION: chunked costing {chunked['chunked_s']:.3f}s "
-                    f"exceeds {args.max_slowdown}x the baseline "
-                    f"({baseline_chunked['chunked_s']}s)",
-                    file=sys.stderr,
-                )
-                failed = True
-            else:
-                print(
-                    f"chunked check ok: {chunked['chunked_s']:.3f}s <= "
-                    f"{chunked_budget:.3f}s ({args.max_slowdown}x of "
-                    f"{baseline_chunked['chunked_s']}s)"
-                )
-        baseline_costing = baseline.get("costing")
-        if costing is not None and baseline_costing is not None:
-            costing_budget = baseline_costing["batch_s"] * args.max_slowdown
-            if costing["batch_s"] > costing_budget:
-                print(
-                    f"REGRESSION: batched costing {costing['batch_s']:.4f}s exceeds "
-                    f"{args.max_slowdown}x the baseline ({baseline_costing['batch_s']}s)",
-                    file=sys.stderr,
-                )
-                failed = True
-            else:
-                print(
-                    f"costing check ok: {costing['batch_s']:.4f}s <= "
-                    f"{costing_budget:.4f}s ({args.max_slowdown}x of "
-                    f"{baseline_costing['batch_s']}s)"
-                )
-    return 1 if failed else 0
+                baseline = stored
+
+    report = compare_to_baseline(record, baseline, expectations)
+    print(format_comparison_report(report))
+    if store is not None:
+        trends = detect_trends(store, expectations)
+        if trends:
+            print(format_trends(trends))
+    if args.summary:
+        # Comparison report only: run history and drift tables are the
+        # bench-history subcommand's job (CI composes both into one page).
+        with open(args.summary, "a") as handle:
+            handle.write(format_comparison_markdown(report) + "\n")
+    if store is not None:
+        store.close()
+    return 0 if report.passed else 1
 
 
 if __name__ == "__main__":

@@ -53,7 +53,11 @@ def test_table4_spmu_throughput(benchmark):
 def test_table5_scanner_area(benchmark):
     rows = run_once(benchmark, table5_scanner_area)
     print()
-    print(format_table(rows, ["width", "out1_um2", "out4_um2", "out16_um2"], "Table 5: scanner area (um^2)"))
+    print(
+        format_table(
+            rows, ["width", "out1_um2", "out4_um2", "out16_um2"], "Table 5: scanner area (um^2)"
+        )
+    )
     assert rows[1]["out16_um2"] == 19898
 
 

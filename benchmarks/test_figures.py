@@ -50,11 +50,15 @@ def test_figure5c_compression_sensitivity(benchmark, profile_set):
 def test_figure7_stall_breakdown(benchmark, profile_set):
     breakdown = run_once(benchmark, figure7_stall_breakdown, profile_set)
     print()
-    rows = [{"app": app, **{k: 100 * v for k, v in fractions.items()}} for app, fractions in breakdown.items()]
+    rows = [
+        {"app": app, **{k: 100 * v for k, v in fractions.items()}}
+        for app, fractions in breakdown.items()
+    ]
     print(
         format_table(
             rows,
-            ["app", "active", "scan", "load_store", "vector_length", "imbalance", "network", "sram", "dram"],
+            ["app", "active", "scan", "load_store", "vector_length", "imbalance"]
+            + ["network", "sram", "dram"],
             "Figure 7: execution-time breakdown (%)",
         )
     )

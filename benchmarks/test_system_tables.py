@@ -13,7 +13,6 @@ from __future__ import annotations
 from conftest import run_once
 
 from repro.eval import (
-    format_mapping,
     format_table,
     paper_vs_measured,
     table9_spmu_sensitivity,
@@ -29,7 +28,9 @@ def test_table9_spmu_sensitivity(benchmark, profile_set):
     print()
     print(
         paper_vs_measured(
-            result["gmean"], result["paper_gmean"], "Table 9: SpMU sensitivity (gmean, rel. to Capstan+hash)"
+            result["gmean"],
+            result["paper_gmean"],
+            "Table 9: SpMU sensitivity (gmean, rel. to Capstan+hash)",
         )
     )
     gmean = result["gmean"]
@@ -54,7 +55,13 @@ def test_table11_shuffle_sensitivity(benchmark, profile_set):
         {"app": app, **modes}
         for app, modes in result["per_app"].items()
     ]
-    print(format_table(rows, ["app", "none", "mrg-0", "mrg-1", "mrg-16"], "Table 11: shuffle sensitivity (rel. to Mrg-1)"))
+    print(
+        format_table(
+            rows,
+            ["app", "none", "mrg-0", "mrg-1", "mrg-16"],
+            "Table 11: shuffle sensitivity (rel. to Mrg-1)",
+        )
+    )
     for modes in result["per_app"].values():
         assert modes["none"] >= modes["mrg-16"] - 1e-6
 
@@ -64,7 +71,9 @@ def test_table12_performance(benchmark, profile_set):
     print()
     print(
         paper_vs_measured(
-            result["gmean"], result["paper_gmean"], "Table 12: runtime normalized to Capstan-HBM2E (gmean)"
+            result["gmean"],
+            result["paper_gmean"],
+            "Table 12: runtime normalized to Capstan-HBM2E (gmean)",
         )
     )
     rows = [{"app": app, **values} for app, values in result["per_app"].items()]

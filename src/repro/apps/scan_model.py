@@ -411,7 +411,9 @@ def scan_cost_operands(
     return scan_cost_pair(indices_a, indices_b, length_a, mode, config, bittree)
 
 
-def data_scan_cost(values_nonzero: int, total_values: int, config: Optional[ScannerConfig] = None) -> ScanCost:
+def data_scan_cost(
+    values_nonzero: int, total_values: int, config: Optional[ScannerConfig] = None
+) -> ScanCost:
     """Cost of the scalar data scanner over a value stream.
 
     The data scanner examines ``data_width`` values per cycle and emits one

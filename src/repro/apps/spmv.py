@@ -238,7 +238,8 @@ def spmv_csc(
         scan_elements=scan.elements,
         sram_random_reads=0,
         sram_random_updates=touched_nnz,
-        dram_stream_read_bytes=4.0 * (2 * touched_nnz + nonzero_inputs.size + vector.size // 32 + 1),
+        dram_stream_read_bytes=4.0
+        * (2 * touched_nnz + nonzero_inputs.size + vector.size // 32 + 1),
         dram_stream_write_bytes=4.0 * matrix.shape[0],
         pointer_stream_bytes=4.0 * touched_nnz,
         pointer_compression_ratio=_pointer_compression(matrix.row_indices),

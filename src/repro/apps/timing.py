@@ -77,7 +77,9 @@ class CapstanPlatform:
     ideal_memory: bool = False
     name: str = "capstan-hbm2e"
 
-    def with_memory(self, memory: MemoryTechnology, name: Optional[str] = None) -> "CapstanPlatform":
+    def with_memory(
+        self, memory: MemoryTechnology, name: Optional[str] = None
+    ) -> "CapstanPlatform":
         """A copy of this platform with a different memory technology."""
         return replace(
             self,

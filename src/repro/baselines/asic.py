@@ -46,8 +46,12 @@ class ASICModel:
 
 EIE = ASICModel(name="eie", clock_ghz=0.8, reference_area_mm2=64.0, reference_node_nm=28)
 SCNN = ASICModel(name="scnn", clock_ghz=1.0, reference_area_mm2=7.9, reference_node_nm=16)
-GRAPHICIONADO = ASICModel(name="graphicionado", clock_ghz=1.0, reference_area_mm2=0.0, reference_node_nm=28)
-MATRAPTOR = ASICModel(name="matraptor", clock_ghz=2.0, reference_area_mm2=2.26, reference_node_nm=28)
+GRAPHICIONADO = ASICModel(
+    name="graphicionado", clock_ghz=1.0, reference_area_mm2=0.0, reference_node_nm=28
+)
+MATRAPTOR = ASICModel(
+    name="matraptor", clock_ghz=2.0, reference_area_mm2=2.26, reference_node_nm=28
+)
 
 
 def eie_runtime_seconds(profile: WorkloadProfile, model: Optional[ASICModel] = None) -> float:

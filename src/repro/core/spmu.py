@@ -426,7 +426,10 @@ class SparseMemoryUnit:
             Aggregate :class:`SpMUStats` for the run.
         """
         if self._backend != "reference":
-            trace = vectors if isinstance(vectors, RequestTrace) else RequestTrace.from_vectors(vectors)
+            if isinstance(vectors, RequestTrace):
+                trace = vectors
+            else:
+                trace = RequestTrace.from_vectors(vectors)
             stats = self._simulate_array(trace)
         else:
             if isinstance(vectors, RequestTrace):

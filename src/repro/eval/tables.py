@@ -391,7 +391,11 @@ def table13_asic_comparison(profiles: Optional[ProfileSet] = None) -> Dict:
     # Graphicionado and MatRaptor comparisons include load/store time and use
     # DDR4 Capstan for the DRAM-bound graph kernels.
     ddr4 = default_platform(MemoryTechnology.DDR4)
-    for app, key in (("pagerank-edge", "graphicionado-pagerank"), ("bfs", "graphicionado-bfs"), ("sssp", "graphicionado-sssp")):
+    for app, key in (
+        ("pagerank-edge", "graphicionado-pagerank"),
+        ("bfs", "graphicionado-bfs"),
+        ("sssp", "graphicionado-sssp"),
+    ):
         app_profiles = profiles.for_app(app)
         graphicionado_seconds = geometric_mean(
             [asic.graphicionado_runtime_seconds(p) for p in app_profiles]

@@ -20,7 +20,10 @@ the evaluation harnesses (:mod:`repro.eval`). It owns four concerns:
   extraction over cycles and area;
 * :mod:`repro.runtime.budget` -- the memory-budget planner: chunk-shape
   cost models and the ``REPRO_MEMORY_BUDGET`` seam the batch engines
-  stream under.
+  stream under;
+* :mod:`repro.runtime.runstore` -- the SQLite experiment store recording
+  every bench run (schema in ``schema.sql``, ``REPRO_RUN_DB`` seam); the
+  regression analytics in :mod:`repro.eval.regression` read it.
 """
 
 from .budget import (
@@ -53,6 +56,7 @@ from .cache import (
 )
 from .dse import DSEResult, explore, pareto_frontier, prefill_throughputs
 from .runner import ExperimentRunner, RunReport, TaskResult
+from .runstore import BaselineRecord, RunRecord, RunStore, default_run_db
 from .sweep import sweep
 
 __all__ = [
@@ -85,5 +89,9 @@ __all__ = [
     "ExperimentRunner",
     "RunReport",
     "TaskResult",
+    "BaselineRecord",
+    "RunRecord",
+    "RunStore",
+    "default_run_db",
     "sweep",
 ]

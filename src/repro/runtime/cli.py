@@ -5,7 +5,11 @@ Runs the registered (application x dataset) grid through
 and prints the per-task report. The ``dse`` subcommand instead costs the
 grid over a family of platform variants through
 :func:`~repro.runtime.dse.explore` and reports the cycles-vs-area Pareto
-frontier. Typical uses::
+frontier. The bench subcommands read the SQLite experiment store
+(:mod:`~repro.runtime.runstore`): ``bench-history`` renders recorded runs
+and drift trends, ``bench-compare`` evaluates a run against a baseline
+and the declarative expectations, and ``bench-baseline`` freezes a named
+baseline snapshot. Typical uses::
 
     repro-eval --list                      # show the registered grid
     repro-eval --scale 1/256              # quick full-grid collection
@@ -13,6 +17,9 @@ frontier. Typical uses::
     repro-eval --no-cache --json out.json # cold run, machine-readable report
     repro-eval dse --axis lanes=8,16,32 --axis banks=8,16,32
     repro-eval dse --axis memory=hbm2e,ddr4 --apps bfs,sssp --pareto-only
+    repro-eval bench-history --limit 10 --trends
+    repro-eval bench-compare --baseline main --expectations benchmarks/expectations.toml
+    repro-eval bench-baseline main        # freeze the latest recorded run
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ import argparse
 import json
 import os
 import sys
+from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .._budget import ENV_MEMORY_BUDGET, parse_memory_budget
@@ -32,6 +40,7 @@ from .cache import ProfileCache, default_cache_dir, profile_to_dict
 from .dse import explore, prefill_throughputs
 from .registry import RunContext, app_datasets, app_order
 from .runner import ExperimentRunner
+from .runstore import RunStore, default_run_db
 
 
 def _add_memory_budget_argument(parser: argparse.ArgumentParser) -> None:
@@ -125,7 +134,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--no-cache", action="store_true", help="bypass the on-disk profile cache")
     parser.add_argument(
-        "--cache-dir", default=None, help=f"profile cache directory (default: {default_cache_dir()})"
+        "--cache-dir",
+        default=None,
+        help=f"profile cache directory (default: {default_cache_dir()})",
     )
     parser.add_argument(
         "--clear-cache", action="store_true", help="delete cached profiles, then exit"
@@ -370,10 +381,226 @@ def _dse_main(argv: List[str]) -> int:
     return 0
 
 
+def _add_run_db_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--db",
+        default=None,
+        help=f"run-store database (default: $REPRO_RUN_DB or {default_run_db()})",
+    )
+
+
+def _open_run_store(args: argparse.Namespace) -> "RunStore":
+    return RunStore(args.db) if args.db else RunStore()
+
+
+def build_bench_history_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-eval bench-history",
+        description=(
+            "Render recorded bench runs from the experiment store, newest "
+            "first, with optional monotonic-drift detection."
+        ),
+    )
+    _add_run_db_argument(parser)
+    parser.add_argument(
+        "--limit", type=int, default=10, help="how many runs to show (default 10)"
+    )
+    parser.add_argument(
+        "--trends",
+        action="store_true",
+        help="also scan the gated metrics for monotonic drift",
+    )
+    parser.add_argument(
+        "--expectations",
+        default=None,
+        help="expectations TOML naming the metrics to trend-check",
+    )
+    parser.add_argument(
+        "--markdown", action="store_true", help="render markdown instead of plain text"
+    )
+    parser.add_argument("--json", default=None, help="also write the history here")
+    return parser
+
+
+def _bench_history_main(argv: List[str]) -> int:
+    from ..eval import regression
+
+    parser = build_bench_history_parser()
+    args = parser.parse_args(argv)
+    try:
+        expectations = (
+            regression.load_expectations(args.expectations) if args.expectations else None
+        )
+    except (CapstanError, OSError) as exc:
+        parser.error(str(exc))
+    with _open_run_store(args) as store:
+        runs = store.runs(limit=args.limit)
+        if not runs:
+            print(f"no runs recorded in {store.path}")
+            return 0
+        print(regression.format_history(runs, markdown=args.markdown))
+        trends = regression.detect_trends(store, expectations) if args.trends else []
+        if args.trends:
+            print()
+            print(regression.format_trends(trends, markdown=args.markdown))
+        if args.json:
+            payload = {
+                "db": str(store.path),
+                "runs": regression.history_rows(runs),
+                "records": [run.to_dict() for run in runs],
+            }
+            if args.trends:
+                payload["trends"] = [trend.to_dict() for trend in trends]
+            with open(args.json, "w") as handle:
+                json.dump(payload, handle, indent=2)
+            print(f"wrote {args.json}")
+    return 0
+
+
+def build_bench_compare_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-eval bench-compare",
+        description=(
+            "Evaluate one recorded bench run (default: the latest) against "
+            "the declarative expectations and a baseline; exit 1 when the "
+            "comparison report fails."
+        ),
+    )
+    _add_run_db_argument(parser)
+    parser.add_argument(
+        "--run", type=int, default=None, help="run id to evaluate (default: latest)"
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="NAME",
+        help="named baseline snapshot in the store to ratio-check against",
+    )
+    parser.add_argument(
+        "--baseline-run",
+        type=int,
+        default=None,
+        metavar="ID",
+        help="ratio-check against this recorded run instead of a named baseline",
+    )
+    parser.add_argument(
+        "--baseline-json",
+        default=None,
+        metavar="PATH",
+        help="ratio-check against a committed JSON record (e.g. BENCH_runner.json)",
+    )
+    parser.add_argument(
+        "--expectations",
+        default=None,
+        help="expectations TOML (default: the built-in gate)",
+    )
+    parser.add_argument(
+        "--markdown", action="store_true", help="render markdown instead of plain text"
+    )
+    parser.add_argument("--json", default=None, help="also write the full report here")
+    return parser
+
+
+def _bench_compare_main(argv: List[str]) -> int:
+    from ..eval import regression
+
+    parser = build_bench_compare_parser()
+    args = parser.parse_args(argv)
+    given = [
+        name
+        for name, value in (
+            ("--baseline", args.baseline),
+            ("--baseline-run", args.baseline_run),
+            ("--baseline-json", args.baseline_json),
+        )
+        if value is not None
+    ]
+    if len(given) > 1:
+        parser.error(f"{' and '.join(given)} are mutually exclusive")
+    try:
+        expectations = (
+            regression.load_expectations(args.expectations) if args.expectations else None
+        )
+    except (CapstanError, OSError) as exc:
+        parser.error(str(exc))
+    with _open_run_store(args) as store:
+        run = store.latest_run() if args.run is None else store.load_run(args.run)
+        if run is None:
+            which = "no runs recorded" if args.run is None else f"no run {args.run}"
+            print(f"{which} in {store.path}", file=sys.stderr)
+            return 2
+        baseline: object = None
+        if args.baseline is not None:
+            baseline = store.baseline(args.baseline)
+            if baseline is None:
+                print(f"no baseline {args.baseline!r} in {store.path}", file=sys.stderr)
+                return 2
+        elif args.baseline_run is not None:
+            base_run = store.load_run(args.baseline_run)
+            if base_run is None:
+                print(f"no run {args.baseline_run} in {store.path}", file=sys.stderr)
+                return 2
+            baseline = base_run.record
+        elif args.baseline_json is not None:
+            baseline = json.loads(Path(args.baseline_json).read_text())
+        report = regression.compare_to_baseline(run.record, baseline, expectations)
+        formatter = (
+            regression.format_comparison_markdown
+            if args.markdown
+            else regression.format_comparison_report
+        )
+        print(formatter(report))
+        if args.json:
+            payload = report.to_dict()
+            payload["run"]["id"] = run.id
+            with open(args.json, "w") as handle:
+                json.dump(payload, handle, indent=2)
+            print(f"wrote {args.json}")
+    return 0 if report.passed else 1
+
+
+def build_bench_baseline_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-eval bench-baseline",
+        description="Freeze one recorded run (default: the latest) as a named baseline.",
+    )
+    parser.add_argument("name", help="baseline name (re-freezing a name replaces it)")
+    _add_run_db_argument(parser)
+    parser.add_argument(
+        "--run", type=int, default=None, help="run id to freeze (default: latest)"
+    )
+    return parser
+
+
+def _bench_baseline_main(argv: List[str]) -> int:
+    parser = build_bench_baseline_parser()
+    args = parser.parse_args(argv)
+    with _open_run_store(args) as store:
+        try:
+            baseline = store.snapshot_baseline(args.name, run_id=args.run)
+        except CapstanError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"froze baseline {baseline.name!r} from run {baseline.run_id} "
+            f"(scale {baseline.scale}, code {baseline.fingerprint[:12]})"
+        )
+    return 0
+
+
+_SUBCOMMANDS: Dict[str, Callable[[List[str]], int]] = {
+    "bench-history": _bench_history_main,
+    "bench-compare": _bench_compare_main,
+    "bench-baseline": _bench_baseline_main,
+}
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "dse":
         return _dse_main(argv[1:])
+    if argv and argv[0] in _SUBCOMMANDS:
+        return _SUBCOMMANDS[argv[0]](argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     _apply_memory_budget(parser, args)

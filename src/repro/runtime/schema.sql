@@ -1,0 +1,58 @@
+-- Experiment run store schema, version 1.
+--
+-- One row per bench run in `runs` (the full record is kept verbatim in
+-- `record_json`); each record section -- the implicit top-level "runner"
+-- timings plus costing / spmu / formats / chunked -- lands in `sections`
+-- with its identity flag and traced peak broken out, and every numeric
+-- metric is additionally flattened into `section_metrics` so history and
+-- trend queries are single indexed scans instead of JSON decoding.
+-- Baselines are frozen snapshots of one recorded run under a name.
+--
+-- The version lives in `PRAGMA user_version`, written by RunStore when it
+-- applies this file; bump RunStore.SCHEMA_VERSION on incompatible change.
+
+CREATE TABLE IF NOT EXISTS runs (
+    id               INTEGER PRIMARY KEY,
+    created_at       TEXT NOT NULL,
+    benchmark        TEXT NOT NULL,
+    code_fingerprint TEXT NOT NULL,
+    scale            REAL,
+    workers          INTEGER,
+    cpu_count        INTEGER,
+    label            TEXT,
+    record_json      TEXT NOT NULL
+);
+
+CREATE INDEX IF NOT EXISTS runs_by_fingerprint ON runs (code_fingerprint);
+CREATE INDEX IF NOT EXISTS runs_by_created_at ON runs (created_at);
+
+CREATE TABLE IF NOT EXISTS sections (
+    run_id       INTEGER NOT NULL REFERENCES runs (id) ON DELETE CASCADE,
+    name         TEXT NOT NULL,
+    identical    INTEGER,
+    peak_mb      REAL,
+    metrics_json TEXT NOT NULL,
+    PRIMARY KEY (run_id, name)
+);
+
+CREATE TABLE IF NOT EXISTS section_metrics (
+    run_id  INTEGER NOT NULL,
+    section TEXT NOT NULL,
+    metric  TEXT NOT NULL,
+    value   REAL,
+    PRIMARY KEY (run_id, section, metric),
+    FOREIGN KEY (run_id, section)
+        REFERENCES sections (run_id, name) ON DELETE CASCADE
+);
+
+CREATE INDEX IF NOT EXISTS section_metrics_by_metric
+    ON section_metrics (section, metric, run_id);
+
+CREATE TABLE IF NOT EXISTS baselines (
+    name             TEXT PRIMARY KEY,
+    run_id           INTEGER NOT NULL REFERENCES runs (id),
+    created_at       TEXT NOT NULL,
+    scale            REAL,
+    code_fingerprint TEXT NOT NULL,
+    snapshot_json    TEXT NOT NULL
+);

@@ -61,7 +61,9 @@ class Partitioning:
         return max(0.0, self.imbalance - 1.0)
 
 
-def round_robin_partition(items: int, tiles: int, weights: Sequence[float] | None = None) -> Partitioning:
+def round_robin_partition(
+    items: int, tiles: int, weights: Sequence[float] | None = None
+) -> Partitioning:
     """Round-robin assignment of items to tiles (the linear-algebra tiler)."""
     if items < 0 or tiles <= 0:
         raise WorkloadError("items must be >= 0 and tiles > 0")

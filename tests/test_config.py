@@ -74,7 +74,8 @@ class TestCapstanConfig:
     def test_with_memory_and_shuffle(self):
         config = CapstanConfig().with_memory(MemoryTechnology.DDR4)
         assert config.memory is MemoryTechnology.DDR4
-        assert CapstanConfig().with_shuffle_mode(ShuffleMode.MRG16).shuffle.mode is ShuffleMode.MRG16
+        shuffled = CapstanConfig().with_shuffle_mode(ShuffleMode.MRG16)
+        assert shuffled.shuffle.mode is ShuffleMode.MRG16
 
     def test_scaled(self):
         scaled = CapstanConfig().scaled(0.5)

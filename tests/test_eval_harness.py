@@ -60,7 +60,9 @@ class TestExperimentInfrastructure:
 
 class TestTable4:
     def test_throughput_improves_with_depth_and_priorities(self):
-        rows = table4_spmu_throughput(depths=(8, 16), crossbars=(16,), priorities=(1, 3), vectors=80)
+        rows = table4_spmu_throughput(
+            depths=(8, 16), crossbars=(16,), priorities=(1, 3), vectors=80
+        )
         by_depth = {row["depth"]: row for row in rows}
         assert by_depth[16]["measured_3pri_pct"] > by_depth[8]["measured_1pri_pct"]
         for row in rows:
@@ -123,7 +125,9 @@ class TestTables12And13:
         assert result["gmean"]["cpu-xeon"] > result["gmean"]["gpu-v100"]
 
     def test_table13_matraptor_capstan_wins_big(self):
-        profiles = collect_profiles(apps=["spmv-csc", "conv", "pagerank-edge", "bfs", "sssp", "spmspm"], scale=1 / 256)
+        profiles = collect_profiles(
+            apps=["spmv-csc", "conv", "pagerank-edge", "bfs", "sssp", "spmspm"], scale=1 / 256
+        )
         result = table13_asic_comparison(profiles)
         assert result["speedup"]["matraptor"] > 2.0
         assert result["speedup"]["eie"] < result["speedup"]["matraptor"]

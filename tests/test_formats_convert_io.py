@@ -26,7 +26,6 @@ from repro.formats import (
     write_matrix_market,
 )
 from repro.formats.coo import COOMatrix
-from repro.formats.csr import CSRMatrix
 
 
 class TestConversions:

@@ -10,7 +10,11 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.apps.common import cross_tile_fraction_rows, cross_tile_fraction_rows_batch, expand_slices
+from repro.apps.common import (
+    cross_tile_fraction_rows,
+    cross_tile_fraction_rows_batch,
+    expand_slices,
+)
 from repro.apps.profile import vector_slots_batch, vector_slots_for
 from repro.apps.scan_model import (
     scan_cost_growing_unions,

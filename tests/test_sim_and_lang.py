@@ -8,14 +8,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.config import MemoryTechnology, ScannerConfig
+from repro.config import MemoryTechnology
 from repro.core import RMWOp, ScanMode
 from repro.errors import ProgramError, SimulationError
 from repro.formats import BitVector
 from repro.lang import (
     Counter,
     DramTensor,
-    ExecutionTrace,
     Foreach,
     MemReduce,
     Reduce,
@@ -105,7 +104,8 @@ class TestNetwork:
 
     def test_round_trip_scales_with_rounds(self):
         network = OnChipNetwork()
-        assert network.round_trip_cycles(10) == pytest.approx(10 * 2 * network.average_latency_cycles)
+        expected = 10 * 2 * network.average_latency_cycles
+        assert network.round_trip_cycles(10) == pytest.approx(expected)
 
     def test_streaming_amortizes_latency(self):
         network = OnChipNetwork()
@@ -264,7 +264,9 @@ class TestMemoryHandles:
         assert tensor.counters.streaming_writes == 8
         assert tensor.counters.random_updates == 1
 
-    @given(st.lists(st.floats(min_value=-10, max_value=10, allow_nan=False), min_size=1, max_size=32))
+    @given(
+        st.lists(st.floats(min_value=-10, max_value=10, allow_nan=False), min_size=1, max_size=32)
+    )
     @settings(max_examples=30, deadline=None)
     def test_tile_accumulate_matches_numpy(self, values):
         tile = SparseTile(1)

@@ -12,7 +12,6 @@ from repro.baselines import asic, cpu, gpu, plasticine
 from repro.config import MemoryTechnology
 from repro.core import OrderingMode
 from repro.formats import to_csr
-from repro.workloads import load_dataset
 
 
 @pytest.fixture(scope="module")
@@ -36,8 +35,12 @@ class TestWorkloadProfile:
         assert merged.sram_random_reads == 2 * spmv_profile.sram_random_reads
 
     def test_merge_weights_fractions(self):
-        a = WorkloadProfile(app="x", dataset="d", sram_random_reads=100, cross_tile_request_fraction=1.0)
-        b = WorkloadProfile(app="x", dataset="d", sram_random_reads=300, cross_tile_request_fraction=0.0)
+        a = WorkloadProfile(
+            app="x", dataset="d", sram_random_reads=100, cross_tile_request_fraction=1.0
+        )
+        b = WorkloadProfile(
+            app="x", dataset="d", sram_random_reads=300, cross_tile_request_fraction=0.0
+        )
         assert a.merge(b).cross_tile_request_fraction == pytest.approx(0.25)
 
 
