@@ -552,7 +552,10 @@ def _run_benchmarks(args, scale: float) -> dict:
         cold_serial_s = _timed(scale=scale, workers=1, cache=ProfileCache(root=tmp_serial))
         warm_serial_s = _timed(scale=scale, workers=1, cache=ProfileCache(root=tmp_serial))
         cold_parallel_s = _timed(
-            scale=scale, workers=args.workers, cache=ProfileCache(root=tmp_par)
+            scale=scale,
+            workers=args.workers,
+            cache=ProfileCache(root=tmp_par),
+            executor=args.executor,
         )
         reference_serial_s = (
             None
@@ -564,6 +567,8 @@ def _run_benchmarks(args, scale: float) -> dict:
         "benchmark": "collect_profiles full grid (11 apps x 3 datasets)",
         "scale": scale,
         "workers": args.workers,
+        "executor": args.executor
+        or ("pool" if args.workers and args.workers > 1 else "local"),
         "cpu_count": os.cpu_count(),
         "uncached_serial_s": round(uncached_s, 3),
         "cold_serial_s": round(cold_serial_s, 3),
@@ -596,6 +601,12 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scale", default="1/16", help="dataset scale (default 1/16)")
     parser.add_argument("--workers", type=int, default=4, help="parallel pool size")
+    parser.add_argument(
+        "--executor",
+        default=None,
+        choices=("local", "pool", "subprocess"),
+        help="executor for the parallel pass (default: automatic)",
+    )
     parser.add_argument(
         "--no-reference",
         action="store_true",

@@ -65,6 +65,7 @@ def collect_profiles(
     workers: Optional[int] = None,
     cache: Union[ProfileCache, bool, None] = True,
     backend: str = "vectorized",
+    executor: Optional[str] = None,
 ) -> ProfileSet:
     """Run the requested applications functionally and collect profiles.
 
@@ -81,6 +82,8 @@ def collect_profiles(
         backend: Profiling-kernel backend (``"vectorized"`` or the
             per-element loop ``"reference"``); both produce identical
             profiles.
+        executor: Executor name (``"local"``, ``"pool"``, ``"subprocess"``)
+            forwarded to the runner; ``None`` picks automatically.
     """
     context = RunContext(
         scale=scale,
@@ -88,6 +91,6 @@ def collect_profiles(
         conv_scale=conv_scale,
         backend=backend,
     )
-    runner = ExperimentRunner(context=context, workers=workers, cache=cache)
+    runner = ExperimentRunner(context=context, workers=workers, cache=cache, executor=executor)
     report = runner.run(apps=apps)
     return ProfileSet(profiles=dict(report.profiles()), scale=scale)

@@ -17,6 +17,9 @@ baseline snapshot. Typical uses::
     repro-eval --no-cache --json out.json # cold run, machine-readable report
     repro-eval dse --axis lanes=8,16,32 --axis banks=8,16,32
     repro-eval dse --axis memory=hbm2e,ddr4 --apps bfs,sssp --pareto-only
+    repro-eval sweep --executor subprocess -j 4   # sharded resumable grid job
+    repro-eval sweep --resume 3                   # continue a killed sweep
+    repro-eval worker                             # JSON-lines unit worker (stdin)
     repro-eval bench-history --limit 10 --trends
     repro-eval bench-compare --baseline main --expectations benchmarks/expectations.toml
     repro-eval bench-baseline main        # freeze the latest recorded run
@@ -33,14 +36,16 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .._budget import ENV_MEMORY_BUDGET, parse_memory_budget
 from .._compiled import set_default_backend
-from ..config import MemoryTechnology, ShuffleMode
-from ..core.ordering import OrderingMode
 from ..errors import CapstanError
 from .cache import ProfileCache, default_cache_dir, profile_to_dict
 from .dse import explore, prefill_throughputs
 from .registry import RunContext, app_datasets, app_order
 from .runner import ExperimentRunner
 from .runstore import RunStore, default_run_db
+from .sweep import AXIS_VALUE_PARSERS
+
+#: Executor names accepted by --executor flags.
+_EXECUTOR_CHOICES = ("local", "pool", "subprocess")
 
 
 def _add_memory_budget_argument(parser: argparse.ArgumentParser) -> None:
@@ -132,6 +137,12 @@ def build_parser() -> argparse.ArgumentParser:
         "-j", "--workers", type=int, default=None,
         help="process-pool size (default: $REPRO_EVAL_WORKERS or serial)",
     )
+    parser.add_argument(
+        "--executor",
+        choices=_EXECUTOR_CHOICES,
+        default=None,
+        help="execution backend (default: automatic local/pool choice)",
+    )
     parser.add_argument("--no-cache", action="store_true", help="bypass the on-disk profile cache")
     parser.add_argument(
         "--cache-dir",
@@ -154,55 +165,37 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _parse_bool(text: str) -> bool:
-    lowered = text.strip().lower()
-    if lowered in ("1", "true", "yes"):
-        return True
-    if lowered in ("0", "false", "no"):
-        return False
-    raise ValueError(f"not a boolean: {text!r}")
-
-
-def _parse_choice(*allowed: str) -> Callable[[str], str]:
-    def parse(text: str) -> str:
-        if text not in allowed:
-            raise ValueError(f"expected one of {', '.join(allowed)}, got {text!r}")
-        return text
-
-    return parse
-
-
-#: Value parser per DSE axis name.
-_AXIS_VALUE_PARSERS: Dict[str, Callable[[str], Any]] = {
-    "ordering": OrderingMode,
-    "memory": MemoryTechnology,
-    "shuffle": ShuffleMode,
-    "ideal_sram": _parse_bool,
-    "lanes": int,
-    "banks": int,
-    "compute_units": int,
-    "queue_depth": int,
-    "crossbar_inputs": int,
-    "bank_mapping": _parse_choice("hash", "linear"),
-    "allocator": _parse_choice("separable", "greedy", "arbitrated"),
-}
-
-
 def _parse_axis(text: str) -> Tuple[str, List[Any]]:
     """Parse one ``--axis name=v1,v2,...`` specification."""
     axis, separator, raw = text.partition("=")
     axis = axis.strip()
     if not separator or not raw.strip():
         raise ValueError(f"expected NAME=V1[,V2,...], got {text!r}")
-    parser = _AXIS_VALUE_PARSERS.get(axis)
+    parser = AXIS_VALUE_PARSERS.get(axis)
     if parser is None:
-        known = ", ".join(sorted(_AXIS_VALUE_PARSERS))
+        known = ", ".join(sorted(AXIS_VALUE_PARSERS))
         raise ValueError(f"unknown axis {axis!r}; known: {known}")
     try:
         values = [parser(value.strip()) for value in raw.split(",") if value.strip()]
     except ValueError as exc:
         raise ValueError(f"bad value for axis {axis!r}: {exc}") from None
     return axis, values
+
+
+def _parse_axes(parser: argparse.ArgumentParser, specs: List[str]) -> Dict[str, List[Any]]:
+    """Collect repeated ``--axis`` options into one axes mapping."""
+    axes: Dict[str, List[Any]] = {}
+    try:
+        for spec in specs:
+            axis, values = _parse_axis(spec)
+            if axis in axes:
+                raise ValueError(
+                    f"axis {axis!r} given more than once; list all its values in one --axis"
+                )
+            axes[axis] = values
+    except ValueError as exc:
+        parser.error(str(exc))
+    return axes
 
 
 def build_dse_parser() -> argparse.ArgumentParser:
@@ -221,7 +214,7 @@ def build_dse_parser() -> argparse.ArgumentParser:
         metavar="NAME=V1,V2[,...]",
         help=(
             "one swept axis (repeatable); known axes: "
-            + ", ".join(sorted(_AXIS_VALUE_PARSERS))
+            + ", ".join(sorted(AXIS_VALUE_PARSERS))
             + ". Default: lanes=8,16,32 banks=8,16,32"
         ),
     )
@@ -250,6 +243,12 @@ def build_dse_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "-j", "--workers", type=int, default=None,
         help="process-pool size for profile collection",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=_EXECUTOR_CHOICES,
+        default=None,
+        help="execution backend for profile collection (default: automatic local/pool)",
     )
     parser.add_argument("--no-cache", action="store_true", help="bypass the on-disk profile cache")
     parser.add_argument(
@@ -286,17 +285,7 @@ def _dse_main(argv: List[str]) -> int:
     args = parser.parse_args(argv)
     _apply_memory_budget(parser, args)
 
-    axes: Dict[str, List[Any]] = {}
-    try:
-        for spec in args.axis:
-            axis, values = _parse_axis(spec)
-            if axis in axes:
-                raise ValueError(
-                    f"axis {axis!r} given more than once; list all its values in one --axis"
-                )
-            axes[axis] = values
-    except ValueError as exc:
-        parser.error(str(exc))
+    axes = _parse_axes(parser, args.axis)
     if not axes:
         axes = {"lanes": [8, 16, 32], "banks": [8, 16, 32]}
 
@@ -336,7 +325,14 @@ def _dse_main(argv: List[str]) -> int:
         backend=_resolve_backend(args.backend),
     )
     try:
-        result = explore(apps=apps, context=context, workers=args.workers, cache=cache, **axes)
+        result = explore(
+            apps=apps,
+            context=context,
+            workers=args.workers,
+            cache=cache,
+            executor=args.executor,
+            **axes,
+        )
     except CapstanError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -588,10 +584,268 @@ def _bench_baseline_main(argv: List[str]) -> int:
     return 0
 
 
+def build_worker_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-eval worker",
+        description=(
+            "Work-unit worker: read JSON-line requests "
+            '({"id": N, "payload": {"kind": ...}}) from stdin, execute each '
+            "unit, and answer one JSON line per request on stdout. This is "
+            "the entry point the subprocess executor drives, locally or "
+            "through any command prefix (e.g. ssh)."
+        ),
+    )
+    parser.add_argument(
+        "--once", action="store_true", help="answer a single request, then exit"
+    )
+    return parser
+
+
+def _worker_main(argv: List[str]) -> int:
+    import time
+    import traceback
+
+    from . import jobs
+    from .cache import _json_default
+
+    args = build_worker_parser().parse_args(argv)
+    # Stdout is the protocol channel; anything a workload prints must not
+    # corrupt it, so the units run with stdout aliased to stderr.
+    protocol = sys.stdout
+    sys.stdout = sys.stderr
+    for line in sys.stdin:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            request = json.loads(line)
+            payload = request["payload"]
+        except (ValueError, KeyError, TypeError):
+            response: Dict[str, Any] = {
+                "id": None,
+                "ok": False,
+                "error": f"malformed request line: {line[:200]!r}",
+            }
+            protocol.write(json.dumps(response) + "\n")
+            protocol.flush()
+            continue
+        started = time.perf_counter()
+        try:
+            result = jobs.execute_unit(payload)
+            response = {
+                "id": request.get("id"),
+                "ok": True,
+                "result": jobs.serialize_result(payload["kind"], result),
+                "duration_s": time.perf_counter() - started,
+            }
+        except Exception as exc:  # noqa: BLE001 - reported per request
+            response = {
+                "id": request.get("id"),
+                "ok": False,
+                "error": traceback.format_exception_only(type(exc), exc)[-1].strip(),
+                "traceback": traceback.format_exc(),
+                "duration_s": time.perf_counter() - started,
+            }
+        protocol.write(json.dumps(response, default=_json_default) + "\n")
+        protocol.flush()
+        if args.once:
+            break
+    return 0
+
+
+def build_sweep_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-eval sweep",
+        description=(
+            "Sharded, resumable sweeps: submit the profile grid (or, with "
+            "--axis, a DSE cross-product) as a job of persisted work units "
+            "and execute it on a pluggable executor. Submitting the same "
+            "grid again resumes the existing job; done units never re-run."
+        ),
+    )
+    parser.add_argument("--name", default=None, help="job name (informational)")
+    parser.add_argument(
+        "--axis",
+        action="append",
+        default=[],
+        metavar="NAME=V1,V2[,...]",
+        help=(
+            "sweep a DSE cross-product instead of the profile grid "
+            "(repeatable); known axes: " + ", ".join(sorted(AXIS_VALUE_PARSERS))
+        ),
+    )
+    parser.add_argument(
+        "--apps", help="comma-separated application names (default: all registered)"
+    )
+    parser.add_argument(
+        "--scale",
+        type=_parse_scale,
+        default=1.0 / 64.0,
+        help="dataset scale, e.g. 1/64 or 0.015625 (default: 1/64)",
+    )
+    parser.add_argument(
+        "--pagerank-iterations", type=int, default=2, help="power iterations per PageRank run"
+    )
+    parser.add_argument(
+        "--conv-scale", type=_parse_scale, default=0.125, help="ResNet channel scale"
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("vectorized", "reference", "numba"),
+        default="vectorized",
+        help="kernel backend (numba = compiled kernels when installed)",
+    )
+    _add_memory_budget_argument(parser)
+    parser.add_argument(
+        "--executor",
+        choices=_EXECUTOR_CHOICES,
+        default="local",
+        help="execution backend for the units (default: local)",
+    )
+    parser.add_argument(
+        "-j", "--workers", type=int, default=1, help="executor parallelism (default: 1)"
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="S", help="per-unit timeout in seconds"
+    )
+    parser.add_argument(
+        "--retries", type=int, default=0, help="extra attempts per failed unit (default: 0)"
+    )
+    parser.add_argument(
+        "--stop-on-error",
+        action="store_true",
+        help="cancel outstanding units after the first failure",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=f"profile cache the units write into (default: {default_cache_dir()})",
+    )
+    _add_run_db_argument(parser)
+    parser.add_argument(
+        "--resume", type=int, default=None, metavar="JOB",
+        help="run an existing job by id instead of submitting a new spec",
+    )
+    parser.add_argument(
+        "--max-units", type=int, default=None, metavar="N",
+        help="process at most N units this invocation, leaving the rest claimable",
+    )
+    parser.add_argument(
+        "--status", type=int, default=None, metavar="JOB",
+        help="print one job's state and unit counts, then exit",
+    )
+    parser.add_argument("--jobs", action="store_true", help="list jobs, then exit")
+    parser.add_argument("--json", default=None, help="also write the run summary here")
+    return parser
+
+
+def _sweep_main(argv: List[str]) -> int:
+    from .executors import create_executor
+    from .jobs import UNIT_FAILED, JobSpec, JobStore
+
+    parser = build_sweep_parser()
+    args = parser.parse_args(argv)
+    _apply_memory_budget(parser, args)
+    axes = _parse_axes(parser, args.axis)
+    apps = [name.strip() for name in args.apps.split(",") if name.strip()] if args.apps else None
+    unknown = set(apps or ()) - set(app_order())
+    if unknown:
+        print(f"unknown applications: {', '.join(sorted(unknown))}", file=sys.stderr)
+        return 2
+
+    with JobStore(Path(args.db) if args.db else None) as store:
+        if args.jobs:
+            for job in store.jobs():
+                counts = store.unit_states(job.id)
+                summary = ", ".join(f"{n} {state}" for state, n in sorted(counts.items()))
+                print(f"job {job.id} [{job.state:>7}] {job.name}: {summary}")
+            return 0
+        if args.status is not None:
+            job = store.job(args.status)
+            if job is None:
+                print(f"no job {args.status} in {store.path}", file=sys.stderr)
+                return 2
+            counts = store.unit_states(job.id)
+            print(f"job {job.id} ({job.name}): state={job.state}")
+            for state, n in sorted(counts.items()):
+                print(f"  {state}: {n}")
+            for unit in store.units(job.id, state=UNIT_FAILED):
+                print(f"  failed unit {unit.seq} ({unit.kind}): {unit.error}")
+            return 0
+
+        if args.resume is not None:
+            job = store.job(args.resume)
+            if job is None:
+                print(f"no job {args.resume} in {store.path}", file=sys.stderr)
+                return 2
+        else:
+            context = RunContext(
+                scale=args.scale,
+                pagerank_iterations=args.pagerank_iterations,
+                conv_scale=args.conv_scale,
+                backend=_resolve_backend(args.backend),
+            )
+            try:
+                if axes:
+                    spec = JobSpec.dse_grid(
+                        axes,
+                        apps=apps,
+                        context=context,
+                        name=args.name or "dse-grid",
+                    )
+                else:
+                    spec = JobSpec.profile_grid(
+                        apps,
+                        context,
+                        cache_root=args.cache_dir,
+                        name=args.name or "profile-grid",
+                    )
+            except CapstanError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+            existing = store.job_by_key(spec.key)
+            job = store.submit(spec)
+            verb = "resuming" if existing is not None else "submitted"
+            print(f"{verb} job {job.id} ({job.name}, {len(spec.units)} units)")
+
+        executor = create_executor(
+            args.executor,
+            workers=args.workers,
+            timeout_s=args.timeout,
+            retries=args.retries,
+        )
+        try:
+            summary = store.run_job(
+                job.id, executor, max_units=args.max_units,
+                stop_on_error=args.stop_on_error,
+            )
+        except CapstanError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        counts = ", ".join(f"{n} {state}" for state, n in sorted(summary.counts.items()))
+        print(
+            f"job {job.id} state={summary.state}: executed {summary.executed} units "
+            f"({summary.completed} ok, {summary.failed} failed, "
+            f"{summary.cancelled} cancelled) in {summary.wall_time_s:.2f}s "
+            f"on {executor.name}/{executor.workers}; now {counts}"
+        )
+        if summary.remaining:
+            print(
+                f"{summary.remaining} units remain; rerun with --resume {job.id} to continue"
+            )
+        if args.json:
+            with open(args.json, "w") as handle:
+                json.dump(summary.to_dict(), handle, indent=2)
+            print(f"wrote {args.json}")
+        return 1 if summary.failed else 0
+
+
 _SUBCOMMANDS: Dict[str, Callable[[List[str]], int]] = {
     "bench-history": _bench_history_main,
     "bench-compare": _bench_compare_main,
     "bench-baseline": _bench_baseline_main,
+    "sweep": _sweep_main,
+    "worker": _worker_main,
 }
 
 
@@ -642,6 +896,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         workers=args.workers,
         cache=cache,
         raise_on_error=not args.keep_going,
+        executor=args.executor,
     )
     try:
         report = runner.run(apps=apps)

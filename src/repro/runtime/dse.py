@@ -35,6 +35,7 @@ from ..core.spmu import effective_bank_throughput_batch
 from ..errors import ConfigurationError
 from ..sim.stats import geometric_mean
 from .cache import ProfileCache
+from .executors import Executor
 from .registry import RunContext
 from .runner import ExperimentRunner
 from .sweep import sweep
@@ -149,6 +150,7 @@ def explore(
     context: Optional[RunContext] = None,
     workers: Optional[int] = None,
     cache: Union[ProfileCache, bool, None] = True,
+    executor: Union[str, Executor, None] = None,
     memory_budget: Optional[int] = None,
     keep_grid: Optional[bool] = None,
     **axes: Iterable[Any],
@@ -164,7 +166,11 @@ def explore(
         apps: Application subset to collect (ignored when ``profiles`` is
             given).
         context: Run parameters for profile collection (scale etc.).
-        workers / cache: Forwarded to the :class:`ExperimentRunner`.
+        workers / cache / executor: Forwarded to the
+            :class:`ExperimentRunner` (``executor`` picks the execution
+            backend for profile collection: a name, an
+            :class:`~repro.runtime.executors.base.Executor` instance, or
+            ``None`` for the automatic local/pool choice).
         memory_budget: Byte budget for the costing working set; the
             (profile x variant) cross-product streams through it chunk by
             chunk with the geometric-mean / Pareto state folded
@@ -184,7 +190,12 @@ def explore(
     for platform in variants.values():
         platform.config.validate()
     if profiles is None:
-        runner = ExperimentRunner(context=context or RunContext(), workers=workers, cache=cache)
+        runner = ExperimentRunner(
+            context=context or RunContext(),
+            workers=workers,
+            cache=cache,
+            executor=executor,
+        )
         report = runner.run(apps=list(apps) if apps is not None else None)
         succeeded = [r for r in report.results if r.profile is not None]
         tasks = [(r.app, r.dataset) for r in succeeded]

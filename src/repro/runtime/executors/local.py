@@ -1,0 +1,87 @@
+"""Serial in-process executor.
+
+Runs units one at a time in the calling process -- the baseline backend
+every other executor must match result-for-result. With no ``timeout_s``
+each unit executes inline (so monkeypatched registries and in-memory
+caches behave exactly as in direct calls); with a timeout each attempt
+runs on a daemon thread so an overrunning unit can be abandoned.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List
+
+from ..jobs import execute_unit
+from .base import (
+    OUTCOME_CANCELLED,
+    OUTCOME_OK,
+    OUTCOME_TIMEOUT,
+    Executor,
+    UnitOutcome,
+    outcome_from_exception,
+)
+
+
+class LocalExecutor(Executor):
+    """Serial executor (``workers`` is accepted but always effectively 1)."""
+
+    name = "local"
+
+    def run_units(
+        self, payloads: List[Dict[str, Any]], *, stop_on_error: bool = False
+    ) -> List[UnitOutcome]:
+        self._begin_run()
+        outcomes: List[UnitOutcome] = []
+        failed = False
+        for payload in payloads:
+            if self.cancelled() or (failed and stop_on_error):
+                outcomes.append(UnitOutcome(status=OUTCOME_CANCELLED))
+                continue
+            outcome = self._run_with_retries(lambda p=payload: self._attempt(p))
+            if outcome.status not in (OUTCOME_OK, OUTCOME_CANCELLED):
+                failed = True
+            outcomes.append(outcome)
+        return outcomes
+
+    def _attempt(self, payload: Dict[str, Any]) -> UnitOutcome:
+        if self.timeout_s is None:
+            return self._attempt_inline(payload)
+        return self._attempt_with_timeout(payload)
+
+    @staticmethod
+    def _attempt_inline(payload: Dict[str, Any]) -> UnitOutcome:
+        start = time.perf_counter()
+        try:
+            result = execute_unit(payload)
+        except Exception as exc:  # noqa: BLE001 - reported per unit
+            import traceback
+
+            return outcome_from_exception(
+                exc, time.perf_counter() - start, traceback.format_exc()
+            )
+        return UnitOutcome(
+            status=OUTCOME_OK, result=result, duration_s=time.perf_counter() - start
+        )
+
+    def _attempt_with_timeout(self, payload: Dict[str, Any]) -> UnitOutcome:
+        box: Dict[str, UnitOutcome] = {}
+
+        def target() -> None:
+            box["outcome"] = self._attempt_inline(payload)
+
+        start = time.perf_counter()
+        thread = threading.Thread(target=target, daemon=True)
+        thread.start()
+        thread.join(self.timeout_s)
+        if thread.is_alive():
+            # The attempt thread is abandoned (daemon); in-process Python
+            # offers no safe preemption, which is why timeout-sensitive
+            # runs belong on the subprocess executor.
+            return UnitOutcome(
+                status=OUTCOME_TIMEOUT,
+                error=f"unit exceeded {self.timeout_s:g}s timeout",
+                duration_s=time.perf_counter() - start,
+            )
+        return box["outcome"]

@@ -1,0 +1,177 @@
+"""Process-pool executor.
+
+The fan-out previously hard-wired into ``ExperimentRunner._run_parallel``,
+generalized to arbitrary work units and the shared executor contract.
+Outcomes are processed as futures complete (not in submission order), so
+a slow first unit no longer delays recording of finished ones, and
+``stop_on_error`` cancels outstanding futures on the first failure --
+the returned list is still in input order.
+
+Units are submitted in waves of at most ``workers`` so that, when a
+``timeout_s`` is set, every outstanding future is actually executing and
+its deadline is meaningful. A pool cannot preempt a running task, so an
+expired deadline tears the pool down (``shutdown(cancel_futures=True)``)
+and a fresh pool resumes the remaining units.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback as traceback_module
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..jobs import execute_unit
+from .base import (
+    OUTCOME_CANCELLED,
+    OUTCOME_ERROR,
+    OUTCOME_OK,
+    OUTCOME_TIMEOUT,
+    Executor,
+    UnitOutcome,
+    outcome_from_exception,
+)
+
+
+def _pool_execute(payload: Dict[str, Any]) -> Tuple[str, Any, Optional[str], float]:
+    """Run one unit; top-level so pool workers can unpickle it.
+
+    Returns ``(tag, result_or_exception, traceback_text, duration)`` so the
+    parent gets worker-measured durations and full tracebacks for failures
+    (a raised exception would only carry the parent's wait time, and
+    pickling strips ``__traceback__``).
+    """
+    start = time.perf_counter()
+    try:
+        result = execute_unit(payload)
+    except Exception as exc:  # noqa: BLE001 - reported per unit
+        return (
+            OUTCOME_ERROR,
+            exc,
+            traceback_module.format_exc(),
+            time.perf_counter() - start,
+        )
+    return OUTCOME_OK, result, None, time.perf_counter() - start
+
+
+class PoolExecutor(Executor):
+    """Executor backed by :class:`concurrent.futures.ProcessPoolExecutor`."""
+
+    name = "pool"
+
+    def _make_pool(self, max_workers: int) -> ProcessPoolExecutor:
+        # Module-attribute lookup on purpose: tests monkeypatch
+        # pool.ProcessPoolExecutor to assert the pool is (not) spawned.
+        return ProcessPoolExecutor(max_workers=max_workers)
+
+    def run_units(
+        self, payloads: List[Dict[str, Any]], *, stop_on_error: bool = False
+    ) -> List[UnitOutcome]:
+        self._begin_run()
+        total = len(payloads)
+        outcomes: List[Optional[UnitOutcome]] = [None] * total
+        attempts = [0] * total
+        queue = deque(range(total))
+        failed = False
+        pool = self._make_pool(min(self.workers, max(1, total)))
+        running: Dict[Any, Tuple[int, float]] = {}
+        try:
+            while queue or running:
+                if self.cancelled() or (failed and stop_on_error):
+                    break
+                while queue and len(running) < self.workers:
+                    index = queue.popleft()
+                    future = pool.submit(_pool_execute, payloads[index])
+                    running[future] = (index, time.perf_counter())
+                wait_timeout = None
+                if self.timeout_s is not None:
+                    now = time.perf_counter()
+                    wait_timeout = max(
+                        0.0,
+                        min(
+                            submitted + self.timeout_s - now
+                            for _, submitted in running.values()
+                        ),
+                    )
+                done, _ = wait(set(running), timeout=wait_timeout, return_when=FIRST_COMPLETED)
+                if not done:
+                    pool, failed = self._expire(pool, running, queue, attempts, outcomes, failed)
+                    continue
+                for future in done:
+                    index, _submitted = running.pop(future)
+                    attempts[index] += 1
+                    try:
+                        tag, value, tb_text, duration = future.result()
+                    except Exception as exc:  # noqa: BLE001 - pool/pickling failure
+                        tag, value, tb_text, duration = OUTCOME_ERROR, exc, None, 0.0
+                    if tag == OUTCOME_OK:
+                        outcomes[index] = UnitOutcome(
+                            status=OUTCOME_OK,
+                            result=value,
+                            duration_s=duration,
+                            attempts=attempts[index],
+                        )
+                    elif attempts[index] <= self.retries:
+                        self._backoff(attempts[index])
+                        queue.append(index)
+                    else:
+                        outcome = outcome_from_exception(value, duration, tb_text)
+                        outcome.attempts = attempts[index]
+                        outcomes[index] = outcome
+                        failed = True
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        for index in range(total):
+            if outcomes[index] is None:
+                outcomes[index] = UnitOutcome(
+                    status=OUTCOME_CANCELLED, attempts=attempts[index]
+                )
+        return [outcome for outcome in outcomes if outcome is not None]
+
+    def _expire(
+        self,
+        pool: ProcessPoolExecutor,
+        running: Dict[Any, Tuple[int, float]],
+        queue: "deque[int]",
+        attempts: List[int],
+        outcomes: List[Optional[UnitOutcome]],
+        failed: bool,
+    ) -> Tuple[ProcessPoolExecutor, bool]:
+        """Handle expired deadlines: record timeouts, respawn the pool.
+
+        Non-expired in-flight units lose their (partial) attempt without it
+        counting against their retry budget and are re-queued first.
+        """
+        now = time.perf_counter()
+        requeue: List[int] = []
+        keep: Dict[Any, Tuple[int, float]] = {}
+        assert self.timeout_s is not None
+        for future, (index, submitted) in running.items():
+            if future.done():
+                # Finished in the race window; its result survives the pool
+                # teardown, so the next wait() round processes it normally.
+                keep[future] = (index, submitted)
+            elif now - submitted >= self.timeout_s:
+                attempts[index] += 1
+                if attempts[index] <= self.retries:
+                    requeue.append(index)
+                else:
+                    outcomes[index] = UnitOutcome(
+                        status=OUTCOME_TIMEOUT,
+                        error=f"unit exceeded {self.timeout_s:g}s timeout",
+                        duration_s=now - submitted,
+                        attempts=attempts[index],
+                    )
+                    failed = True
+            else:
+                # In flight but within deadline: its pool is going away, so
+                # the partial attempt is lost -- without charging the retry
+                # budget -- and the unit runs again on the fresh pool.
+                requeue.append(index)
+        pool.shutdown(wait=False, cancel_futures=True)
+        for index in sorted(requeue, reverse=True):
+            queue.appendleft(index)
+        running.clear()
+        running.update(keep)
+        return self._make_pool(self.workers), failed

@@ -1,0 +1,864 @@
+"""Sharded, resumable jobs over the experiment store.
+
+A *job* is any task grid -- the (application x dataset) profile grid, a
+design-space cross-product, or the table suite -- sharded into
+content-addressed *work units* whose states persist in the SQLite run
+store (:mod:`repro.runtime.runstore`, schema version 2). Each unit is a
+self-contained JSON payload any worker can execute: in process, in a pool
+worker, or in a ``repro-eval worker`` subprocess on another machine (see
+:mod:`repro.runtime.executors`). The lifecycle::
+
+    spec = JobSpec.profile_grid(apps=["spmv-csr", "bfs"], context=context)
+    with JobStore() as store:
+        job = store.submit(spec)            # idempotent: same spec -> same job
+        store.run_job(job.id, executor)     # executes only non-done units
+
+Because both the job spec key and every unit key hash the task
+coordinates *and* the code fingerprint, a killed sweep resumes exactly:
+``submit`` finds the existing job, ``run_job`` resets stale ``running``
+units to ``pending`` and skips every ``done`` unit, so completed work is
+never re-executed and the outputs (profile-cache entries written by the
+workers) are byte-identical to a single-process run.
+
+Unit kinds are pluggable via :func:`register_unit_kind`; the built-in
+kinds are ``profile`` (one registry cell, served from / stored to the
+content-addressed profile cache), ``throughput`` (one SpMU calibration
+microbenchmark, persisted in the throughput store), ``dse_chunk`` (a
+budget-planned slice of a sweep cross-product costed to gmean cycles and
+area), ``table`` (one paper-table harness), and ``probe`` (a synthetic
+unit used by the executor conformance tests and smoke sweeps).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import CapstanError
+from . import registry
+from .cache import (
+    ProfileCache,
+    cache_enabled,
+    code_fingerprint,
+    profile_from_dict,
+    profile_to_dict,
+)
+from .registry import RunContext
+from .runstore import RunStore, _utc_now
+from .sweep import axis_value_to_json, parse_axis_value
+
+#: Work-unit states persisted in the ``work_units`` table.
+UNIT_PENDING = "pending"
+UNIT_RUNNING = "running"
+UNIT_DONE = "done"
+UNIT_FAILED = "failed"
+
+#: Job states persisted in the ``jobs`` table.
+JOB_PENDING = "pending"
+JOB_RUNNING = "running"
+JOB_DONE = "done"
+JOB_FAILED = "failed"
+
+#: Default ceiling on variants per DSE work unit (resumability granularity
+#: when no memory budget imposes a smaller chunk).
+DEFAULT_DSE_CHUNK = 64
+
+
+class JobError(CapstanError):
+    """Raised for malformed job specs, unknown kinds, or missing jobs."""
+
+
+# --------------------------------------------------------------- contexts
+
+
+def context_to_dict(context: RunContext) -> Dict[str, Any]:
+    """Serialize a :class:`RunContext` to a JSON-able dict (lossless)."""
+    material: Dict[str, Any] = {
+        "scale": context.scale,
+        "pagerank_iterations": context.pagerank_iterations,
+        "conv_scale": context.conv_scale,
+        "backend": context.backend,
+    }
+    if context.scanner is not None:
+        material["scanner"] = dataclasses.asdict(context.scanner)
+    return material
+
+
+def context_from_dict(data: Optional[Dict[str, Any]]) -> RunContext:
+    """Rebuild a :class:`RunContext` from :func:`context_to_dict` output."""
+    data = dict(data or {})
+    scanner = data.pop("scanner", None)
+    if scanner is not None:
+        from ..config import ScannerConfig
+
+        scanner = ScannerConfig(**scanner)
+    known = {f.name for f in dataclasses.fields(RunContext)}
+    unknown = set(data) - known
+    if unknown:
+        raise JobError(f"unknown RunContext fields in payload: {sorted(unknown)}")
+    return RunContext(scanner=scanner, **data)
+
+
+# ------------------------------------------------------------- unit kinds
+
+
+@dataclasses.dataclass(frozen=True)
+class UnitKind:
+    """One executable unit kind: how to run it and (de)serialize results."""
+
+    name: str
+    execute: Callable[[Dict[str, Any]], Any]
+    serialize: Callable[[Any], Any]
+    deserialize: Callable[[Any], Any]
+
+
+_KINDS: Dict[str, UnitKind] = {}
+
+
+def register_unit_kind(
+    name: str,
+    execute: Callable[[Dict[str, Any]], Any],
+    *,
+    serialize: Optional[Callable[[Any], Any]] = None,
+    deserialize: Optional[Callable[[Any], Any]] = None,
+) -> UnitKind:
+    """Register one unit kind (``serialize``/``deserialize`` default to identity).
+
+    Note that subprocess workers only know the kinds registered at import
+    time of :mod:`repro.runtime.jobs`; ad-hoc kinds registered by tests
+    run on the in-process executors.
+    """
+    kind = UnitKind(
+        name=name,
+        execute=execute,
+        serialize=serialize or (lambda result: result),
+        deserialize=deserialize or (lambda result: result),
+    )
+    _KINDS[name] = kind
+    return kind
+
+
+def unit_kind(name: str) -> UnitKind:
+    """Look up one registered kind (raises :class:`JobError`)."""
+    try:
+        return _KINDS[name]
+    except KeyError:
+        known = ", ".join(sorted(_KINDS)) or "<none>"
+        raise JobError(f"unknown work-unit kind {name!r}; registered: {known}") from None
+
+
+def execute_unit(payload: Dict[str, Any]) -> Any:
+    """Execute one work-unit payload and return its (native) result.
+
+    This is the single entry point every executor drives -- in process,
+    from a pool worker, or behind ``repro-eval worker``.
+    """
+    if not isinstance(payload, dict) or "kind" not in payload:
+        raise JobError(f"work-unit payload needs a 'kind' field, got {payload!r}")
+    return unit_kind(payload["kind"]).execute(payload)
+
+
+def serialize_result(kind: str, result: Any) -> Any:
+    """The JSON form of one unit result (for ``result_json`` / the wire)."""
+    return unit_kind(kind).serialize(result)
+
+
+def deserialize_result(kind: str, data: Any) -> Any:
+    """Rebuild one unit result from its JSON form."""
+    return unit_kind(kind).deserialize(data)
+
+
+# ------------------------------------------------------- built-in kinds
+
+
+def _execute_profile(payload: Dict[str, Any]) -> Any:
+    """Run one (app, dataset) cell, served from / stored to the profile cache."""
+    app = payload["app"]
+    dataset = payload["dataset"]
+    context = context_from_dict(payload.get("context"))
+    cache: Optional[ProfileCache] = None
+    key: Optional[str] = None
+    if payload.get("cache", True) and cache_enabled():
+        root = payload.get("cache_root")
+        cache = ProfileCache(root=Path(root)) if root else ProfileCache()
+        fields = registry.get_spec(app).context_fields
+        key = cache.key(app, dataset, context, context_fields=fields)
+        hit = cache.load(key)
+        if hit is not None:
+            return hit
+    profile = registry.execute(app, dataset, context)
+    if cache is not None and key is not None:
+        cache.store(key, profile)
+    return profile
+
+
+def _execute_throughput(payload: Dict[str, Any]) -> float:
+    """Run one SpMU calibration microbenchmark (persists to its store)."""
+    from ..config import SpMUConfig
+    from ..core.ordering import OrderingMode
+    from ..core.spmu import effective_bank_throughput
+
+    config = SpMUConfig(**payload.get("config", {}))
+    return float(
+        effective_bank_throughput(
+            ordering=OrderingMode(payload.get("ordering", "unordered")),
+            bank_mapping=payload.get("bank_mapping", "hash"),
+            allocator_kind=payload.get("allocator", "separable"),
+            config=config,
+            lanes=int(payload.get("lanes", 16)),
+        )
+    )
+
+
+def _execute_dse_chunk(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Cost one contiguous slice of a sweep cross-product.
+
+    Profiles come through the cached :class:`ExperimentRunner` (serial --
+    the parallelism axis of a DSE job is its units, not a nested pool), so
+    every chunk of the same job reuses the same cached profile set.
+    """
+    from ..apps.timing import estimate_cycles_batch
+    from ..core.area import capstan_area
+    from ..sim.stats import geometric_mean
+    from .runner import ExperimentRunner
+    from .sweep import sweep
+
+    axes = {
+        axis: [parse_axis_value(axis, value) for value in values]
+        for axis, values in payload["axes"].items()
+    }
+    variants = sweep(**axes)
+    names = list(variants)
+    chunk_names = names[payload["start"] : payload["stop"]]
+    platforms = [variants[name] for name in chunk_names]
+    for platform in platforms:
+        platform.config.validate()
+    context = context_from_dict(payload.get("context"))
+    runner = ExperimentRunner(context=context, workers=1, cache=payload.get("cache", True))
+    report = runner.run(apps=payload.get("apps"))
+    profiles = [r.profile for r in report.results if r.profile is not None]
+    batch = estimate_cycles_batch(profiles, platforms)
+    gmeans = [
+        geometric_mean([float(c) for c in batch.cycles[:, j]])
+        for j in range(len(platforms))
+    ]
+    return {
+        "names": list(chunk_names),
+        "gmean_cycles": [float(g) for g in gmeans],
+        "area_mm2": [float(capstan_area(p.config).total_mm2) for p in platforms],
+    }
+
+
+def _table_functions() -> Dict[str, Callable[..., Any]]:
+    """The paper-table harness callables by short name (``table4`` ...)."""
+    from ..eval import tables as tables_module
+
+    found: Dict[str, Callable[..., Any]] = {}
+    for attr in dir(tables_module):
+        if attr.startswith("table"):
+            short = attr.split("_", 1)[0]
+            found[short] = getattr(tables_module, attr)
+    return found
+
+
+def _execute_table(payload: Dict[str, Any]) -> Any:
+    """Render one paper table (profiles collected through the cache)."""
+    import inspect
+
+    from .cache import _json_default
+
+    functions = _table_functions()
+    name = payload["table"]
+    if name not in functions:
+        raise JobError(f"unknown table {name!r}; known: {', '.join(sorted(functions))}")
+    fn = functions[name]
+    kwargs: Dict[str, Any] = {}
+    if "profiles" in inspect.signature(fn).parameters and payload.get("scale") is not None:
+        from ..eval.experiments import collect_profiles
+
+        kwargs["profiles"] = collect_profiles(scale=float(payload["scale"]))
+    result = fn(**kwargs)
+    # Normalize numpy scalars so the result is JSON-able for result_json.
+    return json.loads(json.dumps(result, default=_json_default))
+
+
+def _execute_probe(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Synthetic unit for conformance tests and executor smoke runs.
+
+    Payload fields: ``value`` (echoed back doubled), ``sleep_s`` (work
+    stand-in, exercises timeouts), ``fail_times`` + ``scratch`` (raise
+    until the scratch directory shows that many prior attempts, exercising
+    retries across process boundaries -- each execution drops one marker
+    file), ``boom`` (always raise).
+    """
+    attempt = 0
+    scratch = payload.get("scratch")
+    if scratch:
+        root = Path(scratch)
+        root.mkdir(parents=True, exist_ok=True)
+        marker = root / f"attempt-{os.getpid()}-{time.monotonic_ns()}"
+        marker.write_text("")
+        attempt = len(list(root.glob("attempt-*")))
+    sleep_s = float(payload.get("sleep_s", 0.0))
+    if sleep_s > 0:
+        time.sleep(sleep_s)
+    if payload.get("boom"):
+        raise JobError(str(payload.get("boom")))
+    fail_times = int(payload.get("fail_times", 0))
+    if fail_times and attempt <= fail_times:
+        raise JobError(f"probe failing on attempt {attempt} of {fail_times}")
+    value = payload.get("value")
+    return {
+        "value": None if value is None else value * 2,
+        "attempt": attempt,
+        "pid": os.getpid(),
+    }
+
+
+register_unit_kind(
+    "profile",
+    _execute_profile,
+    serialize=profile_to_dict,
+    deserialize=profile_from_dict,
+)
+register_unit_kind("throughput", _execute_throughput)
+register_unit_kind("dse_chunk", _execute_dse_chunk)
+register_unit_kind("table", _execute_table)
+register_unit_kind("probe", _execute_probe)
+
+
+# ------------------------------------------------------------- job specs
+
+
+def _unit_key(material: Dict[str, Any]) -> str:
+    """Content address of one unit: its material plus the code fingerprint."""
+    material = dict(material)
+    material["code"] = code_fingerprint()
+    return hashlib.sha256(json.dumps(material, sort_keys=True).encode()).hexdigest()
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkUnit:
+    """One shard of a job: a content-addressed, executable payload."""
+
+    key: str
+    kind: str
+    payload: Dict[str, Any]
+
+
+@dataclasses.dataclass(frozen=True)
+class JobSpec:
+    """A named, ordered collection of work units.
+
+    The spec ``key`` hashes the name and every unit key, so the same grid
+    at the same code version resolves to the same job row -- submitting it
+    twice resumes rather than duplicates.
+    """
+
+    name: str
+    units: Tuple[WorkUnit, ...]
+
+    @property
+    def key(self) -> str:
+        material = {"name": self.name, "units": [unit.key for unit in self.units]}
+        return hashlib.sha256(json.dumps(material, sort_keys=True).encode()).hexdigest()
+
+    @staticmethod
+    def profile_grid(
+        apps: Optional[Sequence[str]] = None,
+        context: Optional[RunContext] = None,
+        *,
+        cache_root: Optional[Union[str, Path]] = None,
+        name: str = "profile-grid",
+    ) -> "JobSpec":
+        """Shard the (application x dataset) grid, one cell per unit.
+
+        Workers write straight into the content-addressed profile cache
+        (``cache_root`` overrides its location), so a completed job's
+        output is exactly the warm cache a single-process run would leave.
+        """
+        context = context or RunContext()
+        names = list(apps) if apps is not None else list(registry.app_order())
+        context_dict = context_to_dict(context)
+        keyer = ProfileCache(root=Path(cache_root)) if cache_root else ProfileCache()
+        units: List[WorkUnit] = []
+        for app in names:
+            spec = registry.get_spec(app)
+            for dataset in spec.datasets:
+                payload: Dict[str, Any] = {
+                    "kind": "profile",
+                    "app": app,
+                    "dataset": dataset,
+                    "context": context_dict,
+                }
+                if cache_root:
+                    payload["cache_root"] = str(cache_root)
+                # The profile-cache key *is* the unit's content address:
+                # done unit <=> its output exists in the cache.
+                key = keyer.key(app, dataset, context, context_fields=spec.context_fields)
+                units.append(WorkUnit(key=key, kind="profile", payload=payload))
+        if not units:
+            raise JobError("profile grid resolved to zero units")
+        return JobSpec(name=name, units=tuple(units))
+
+    @staticmethod
+    def dse_grid(
+        axes: Dict[str, Sequence[Any]],
+        *,
+        apps: Optional[Sequence[str]] = None,
+        context: Optional[RunContext] = None,
+        memory_budget: Optional[int] = None,
+        max_chunk: int = DEFAULT_DSE_CHUNK,
+        name: str = "dse-grid",
+    ) -> "JobSpec":
+        """Shard a sweep cross-product into budget-planned variant chunks.
+
+        The chunk size comes from the PR 6 budget planner: one chunk's
+        (profile x variant) costing working set fits ``memory_budget``
+        (``REPRO_MEMORY_BUDGET`` honored), capped at ``max_chunk`` variants
+        so even unbudgeted jobs stay resumable at useful granularity.
+        """
+        from .._budget import plan_chunks, resolve_memory_budget
+        from ..apps.timing import COSTING_BYTES_PER_CELL
+        from .sweep import sweep
+
+        parsed = {
+            axis: [parse_axis_value(axis, value) for value in values]
+            for axis, values in axes.items()
+        }
+        variants = sweep(**parsed)
+        for platform in variants.values():
+            platform.config.validate()
+        context = context or RunContext()
+        app_names = list(apps) if apps is not None else list(registry.app_order())
+        cells = sum(len(registry.get_spec(app).datasets) for app in app_names)
+        plan = plan_chunks(
+            len(variants),
+            cells * COSTING_BYTES_PER_CELL,
+            resolve_memory_budget(memory_budget),
+            max_items=max_chunk,
+        )
+        axes_json = {
+            axis: [axis_value_to_json(value) for value in values]
+            for axis, values in parsed.items()
+        }
+        context_dict = context_to_dict(context)
+        units: List[WorkUnit] = []
+        for start, stop in plan.bounds():
+            payload = {
+                "kind": "dse_chunk",
+                "axes": axes_json,
+                "start": int(start),
+                "stop": int(stop),
+                "apps": None if apps is None else list(apps),
+                "context": context_dict,
+            }
+            key = _unit_key(payload)
+            units.append(WorkUnit(key=key, kind="dse_chunk", payload=payload))
+        if not units:
+            raise JobError("DSE grid resolved to zero units")
+        return JobSpec(name=name, units=tuple(units))
+
+    @staticmethod
+    def table_suite(
+        tables: Optional[Sequence[str]] = None,
+        *,
+        scale: Optional[float] = None,
+        name: str = "table-suite",
+    ) -> "JobSpec":
+        """Shard the paper-table suite, one table harness per unit."""
+        known = sorted(_table_functions())
+        chosen = list(tables) if tables is not None else known
+        unknown = set(chosen) - set(known)
+        if unknown:
+            raise JobError(f"unknown tables: {', '.join(sorted(unknown))}")
+        units = []
+        for table in chosen:
+            payload: Dict[str, Any] = {"kind": "table", "table": table}
+            if scale is not None:
+                payload["scale"] = float(scale)
+            units.append(WorkUnit(key=_unit_key(payload), kind="table", payload=payload))
+        return JobSpec(name=name, units=tuple(units))
+
+    @staticmethod
+    def probes(
+        count: int,
+        *,
+        sleep_s: float = 0.0,
+        scratch: Optional[Union[str, Path]] = None,
+        name: str = "probe",
+    ) -> "JobSpec":
+        """A synthetic job of ``count`` probe units (smoke tests, demos)."""
+        units = []
+        for i in range(count):
+            payload: Dict[str, Any] = {"kind": "probe", "value": i}
+            if sleep_s:
+                payload["sleep_s"] = sleep_s
+            if scratch:
+                payload["scratch"] = str(Path(scratch) / f"unit-{i}")
+            units.append(WorkUnit(key=_unit_key(payload), kind="probe", payload=payload))
+        return JobSpec(name=name, units=tuple(units))
+
+
+# -------------------------------------------------------------- job store
+
+
+@dataclasses.dataclass(frozen=True)
+class JobRecord:
+    """One persisted job row."""
+
+    id: int
+    key: str
+    name: str
+    created_at: str
+    updated_at: str
+    state: str
+    executor: Optional[str]
+    workers: Optional[int]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class UnitRecord:
+    """One persisted work-unit row."""
+
+    job_id: int
+    seq: int
+    key: str
+    kind: str
+    payload: Dict[str, Any]
+    state: str
+    attempts: int
+    duration_s: Optional[float]
+    error: Optional[str]
+    result_json: Optional[str]
+
+    def result(self) -> Any:
+        """The deserialized unit result (``None`` unless done)."""
+        if self.result_json is None:
+            return None
+        return deserialize_result(self.kind, json.loads(self.result_json))
+
+
+@dataclasses.dataclass(frozen=True)
+class JobRunSummary:
+    """What one :meth:`JobStore.run_job` call did."""
+
+    job_id: int
+    state: str
+    executed: int
+    completed: int
+    failed: int
+    cancelled: int
+    remaining: int
+    counts: Dict[str, int]
+    wall_time_s: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+class JobStore:
+    """Job and work-unit persistence over the run-store database.
+
+    Shares the :class:`~repro.runtime.runstore.RunStore` connection (WAL,
+    versioned schema); pass an existing store to compose, or a path to own
+    one. All unit selections are ordered by ``seq``, so execution and
+    reporting follow deterministic grid order.
+    """
+
+    def __init__(self, path: Optional[Path] = None, *, store: Optional[RunStore] = None):
+        if store is not None:
+            self._store = store
+            self._owns_store = False
+        else:
+            self._store = RunStore(path)
+            self._owns_store = True
+        self._connection = self._store.connection
+
+    @property
+    def path(self) -> Path:
+        return self._store.path
+
+    def close(self) -> None:
+        if self._owns_store:
+            self._store.close()
+
+    def __enter__(self) -> "JobStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------ writes
+
+    def submit(self, spec: JobSpec) -> JobRecord:
+        """Insert a job for ``spec``, or return the existing one (resume)."""
+        existing = self.job_by_key(spec.key)
+        if existing is not None:
+            return existing
+        now = _utc_now()
+        with self._connection:
+            cursor = self._connection.execute(
+                "INSERT INTO jobs (key, name, created_at, updated_at, state)"
+                " VALUES (?,?,?,?,?)",
+                (spec.key, spec.name, now, now, JOB_PENDING),
+            )
+            job_id = int(cursor.lastrowid)
+            self._connection.executemany(
+                "INSERT INTO work_units (job_id, seq, key, kind, payload_json, state)"
+                " VALUES (?,?,?,?,?,?)",
+                [
+                    (
+                        job_id,
+                        seq,
+                        unit.key,
+                        unit.kind,
+                        json.dumps(unit.payload, sort_keys=True),
+                        UNIT_PENDING,
+                    )
+                    for seq, unit in enumerate(spec.units)
+                ],
+            )
+        job = self.job(job_id)
+        assert job is not None
+        return job
+
+    def reset_stale_running(self, job_id: int) -> int:
+        """Reset ``running`` units to ``pending`` (recovery after a kill).
+
+        A unit can only be legitimately ``running`` while some process is
+        inside :meth:`run_job`; rows still marked ``running`` at the start
+        of a new run are orphans of a dead sweep.
+        """
+        with self._connection:
+            cursor = self._connection.execute(
+                "UPDATE work_units SET state=? WHERE job_id=? AND state=?",
+                (UNIT_PENDING, job_id, UNIT_RUNNING),
+            )
+        return cursor.rowcount
+
+    def run_job(
+        self,
+        job_id: int,
+        executor: Any,
+        *,
+        max_units: Optional[int] = None,
+        stop_on_error: bool = False,
+    ) -> JobRunSummary:
+        """Execute the job's claimable units (pending or failed) in order.
+
+        Args:
+            job_id: The job to advance.
+            executor: Any :class:`~repro.runtime.executors.base.Executor`.
+            max_units: Process at most this many units, then return with
+                the job still resumable (deterministic partial progress --
+                also the seam the kill/resume tests and smoke sweep use).
+            stop_on_error: Forwarded to the executor: cancel outstanding
+                units after the first failure instead of finishing the
+                batch.
+
+        Returns:
+            A :class:`JobRunSummary`; ``remaining`` counts units still
+            claimable afterwards (a resumed call picks exactly those up).
+
+        Units are dispatched in waves of ``executor.workers`` and every
+        wave's outcomes are committed before the next one starts, so a
+        killed run can only ever lose in-flight work -- completed units are
+        durable and are never re-executed on resume.
+        """
+        started = time.perf_counter()
+        job = self.job(job_id)
+        if job is None:
+            raise JobError(f"no job {job_id} in {self.path}")
+        self.reset_stale_running(job_id)
+        claimable = self.claimable_units(job_id)
+        selected = claimable if max_units is None else claimable[: max(0, max_units)]
+        completed = failed = cancelled = 0
+        processed = 0
+        if selected:
+            with self._connection:
+                self._connection.executemany(
+                    "UPDATE work_units SET state=? WHERE job_id=? AND seq=?",
+                    [(UNIT_RUNNING, job_id, unit.seq) for unit in selected],
+                )
+                self._connection.execute(
+                    "UPDATE jobs SET state=?, executor=?, workers=?, updated_at=?"
+                    " WHERE id=?",
+                    (
+                        JOB_RUNNING,
+                        getattr(executor, "name", type(executor).__name__),
+                        getattr(executor, "workers", None),
+                        _utc_now(),
+                        job_id,
+                    ),
+                )
+            wave_size = max(1, int(getattr(executor, "workers", 1) or 1))
+            halt = False
+            while processed < len(selected) and not halt:
+                wave = selected[processed : processed + wave_size]
+                outcomes = executor.run_units(
+                    [unit.payload for unit in wave], stop_on_error=stop_on_error
+                )
+                with self._connection:
+                    for unit, outcome in zip(wave, outcomes):
+                        if outcome.status == "ok":
+                            completed += 1
+                            state: str = UNIT_DONE
+                            error = None
+                            result_json = json.dumps(
+                                serialize_result(unit.kind, outcome.result), sort_keys=True
+                            )
+                        elif outcome.status == "cancelled":
+                            cancelled += 1
+                            state, error, result_json = UNIT_PENDING, None, None
+                        else:
+                            failed += 1
+                            state = UNIT_FAILED
+                            error = outcome.error or outcome.status
+                            result_json = None
+                        self._connection.execute(
+                            "UPDATE work_units SET state=?, attempts=attempts+?,"
+                            " duration_s=?, error=?, result_json=?"
+                            " WHERE job_id=? AND seq=?",
+                            (
+                                state,
+                                outcome.attempts,
+                                outcome.duration_s,
+                                error,
+                                result_json,
+                                job_id,
+                                unit.seq,
+                            ),
+                        )
+                processed += len(wave)
+                if any(outcome.status == "cancelled" for outcome in outcomes):
+                    halt = True  # executor was cancelled; leave the rest pending
+                if stop_on_error and any(
+                    outcome.status not in ("ok", "cancelled") for outcome in outcomes
+                ):
+                    halt = True
+            leftover = selected[processed:]
+            if leftover:
+                cancelled += len(leftover)
+                with self._connection:
+                    self._connection.executemany(
+                        "UPDATE work_units SET state=? WHERE job_id=? AND seq=?",
+                        [(UNIT_PENDING, job_id, unit.seq) for unit in leftover],
+                    )
+        counts = self.unit_states(job_id)
+        remaining = counts.get(UNIT_PENDING, 0) + counts.get(UNIT_FAILED, 0)
+        if counts.get(UNIT_DONE, 0) == sum(counts.values()):
+            state = JOB_DONE
+        elif counts.get(UNIT_FAILED, 0) and not counts.get(UNIT_PENDING, 0):
+            state = JOB_FAILED
+        else:
+            state = JOB_PENDING
+        with self._connection:
+            self._connection.execute(
+                "UPDATE jobs SET state=?, updated_at=? WHERE id=?",
+                (state, _utc_now(), job_id),
+            )
+        return JobRunSummary(
+            job_id=job_id,
+            state=state,
+            executed=processed,
+            completed=completed,
+            failed=failed,
+            cancelled=cancelled,
+            remaining=remaining,
+            counts=counts,
+            wall_time_s=time.perf_counter() - started,
+        )
+
+    # ------------------------------------------------------------- reads
+
+    @staticmethod
+    def _job_from_row(row) -> JobRecord:
+        return JobRecord(
+            id=row["id"],
+            key=row["key"],
+            name=row["name"],
+            created_at=row["created_at"],
+            updated_at=row["updated_at"],
+            state=row["state"],
+            executor=row["executor"],
+            workers=row["workers"],
+        )
+
+    @staticmethod
+    def _unit_from_row(row) -> UnitRecord:
+        return UnitRecord(
+            job_id=row["job_id"],
+            seq=row["seq"],
+            key=row["key"],
+            kind=row["kind"],
+            payload=json.loads(row["payload_json"]),
+            state=row["state"],
+            attempts=row["attempts"],
+            duration_s=row["duration_s"],
+            error=row["error"],
+            result_json=row["result_json"],
+        )
+
+    def job(self, job_id: int) -> Optional[JobRecord]:
+        row = self._connection.execute(
+            "SELECT * FROM jobs WHERE id=?", (job_id,)
+        ).fetchone()
+        return None if row is None else self._job_from_row(row)
+
+    def job_by_key(self, key: str) -> Optional[JobRecord]:
+        row = self._connection.execute(
+            "SELECT * FROM jobs WHERE key=?", (key,)
+        ).fetchone()
+        return None if row is None else self._job_from_row(row)
+
+    def jobs(self, limit: Optional[int] = None) -> List[JobRecord]:
+        """All jobs, newest first."""
+        query = "SELECT * FROM jobs ORDER BY id DESC"
+        parameters: List[Any] = []
+        if limit is not None:
+            query += " LIMIT ?"
+            parameters.append(limit)
+        rows = self._connection.execute(query, parameters).fetchall()
+        return [self._job_from_row(row) for row in rows]
+
+    def units(self, job_id: int, state: Optional[str] = None) -> List[UnitRecord]:
+        """The job's units in grid (``seq``) order, optionally one state."""
+        query = "SELECT * FROM work_units WHERE job_id=?"
+        parameters: List[Any] = [job_id]
+        if state is not None:
+            query += " AND state=?"
+            parameters.append(state)
+        query += " ORDER BY seq"
+        rows = self._connection.execute(query, parameters).fetchall()
+        return [self._unit_from_row(row) for row in rows]
+
+    def claimable_units(self, job_id: int) -> List[UnitRecord]:
+        """Units still needing execution: pending, plus failed (retried)."""
+        rows = self._connection.execute(
+            "SELECT * FROM work_units WHERE job_id=? AND state IN (?,?) ORDER BY seq",
+            (job_id, UNIT_PENDING, UNIT_FAILED),
+        ).fetchall()
+        return [self._unit_from_row(row) for row in rows]
+
+    def unit_states(self, job_id: int) -> Dict[str, int]:
+        """Unit counts by state, e.g. ``{"done": 30, "pending": 3}``."""
+        rows = self._connection.execute(
+            "SELECT state, COUNT(*) AS n FROM work_units WHERE job_id=? GROUP BY state",
+            (job_id,),
+        ).fetchall()
+        return {row["state"]: row["n"] for row in rows}
+
+    def results(self, job_id: int) -> List[Tuple[UnitRecord, Any]]:
+        """(unit, deserialized result) for every done unit, in grid order."""
+        return [
+            (unit, unit.result()) for unit in self.units(job_id, state=UNIT_DONE)
+        ]

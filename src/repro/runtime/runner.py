@@ -2,23 +2,26 @@
 
 :class:`ExperimentRunner` turns the registry's specs into a task grid,
 satisfies what it can from the on-disk profile cache, fans the remaining
-functional runs out over a process pool, and returns a :class:`RunReport`
-of structured per-task results in deterministic (registry) order --
-independent of completion order, worker count, or cache state.
+functional runs out over a pluggable executor (see
+:mod:`repro.runtime.executors`), and returns a :class:`RunReport` of
+structured per-task results in deterministic (registry) order --
+independent of completion order, worker count, executor, or cache state.
 """
 
 from __future__ import annotations
 
 import os
 import time
-import traceback
-from concurrent.futures import ProcessPoolExecutor
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..apps.profile import WorkloadProfile
 from . import registry
 from .cache import ProfileCache, cache_enabled
+from .executors import Executor, LocalExecutor, PoolExecutor, UnitOutcome, create_executor
+from .executors.base import OUTCOME_ERROR, OUTCOME_OK, OUTCOME_TIMEOUT, WorkerError
+from .jobs import context_to_dict
 from .registry import RunContext
 
 #: Task states a :class:`TaskResult` can report.
@@ -36,7 +39,9 @@ class TaskResult:
         dataset: Dataset name.
         status: ``"ok"`` (executed), ``"cached"`` (served from the profile
             cache), or ``"error"``.
-        duration_s: Wall time spent on this task (0 for cache hits).
+        duration_s: Wall time spent on this task; for cache hits this is
+            the measured cache-lookup time, so profiling a warm run shows
+            where its (small) time actually goes.
         profile: The collected profile (``None`` on error).
         error: One-line error description (``None`` unless failed).
     """
@@ -57,6 +62,7 @@ class RunReport:
     results: List[TaskResult] = field(default_factory=list)
     workers: int = 1
     wall_time_s: float = 0.0
+    executor: str = "local"
 
     def profiles(self) -> Dict[Tuple[str, str], WorkloadProfile]:
         """Successful profiles keyed by ``(app, dataset)``."""
@@ -90,34 +96,32 @@ class _RemoteTraceback(Exception):
         return f"\n{self.text}"
 
 
-def _execute_task(app: str, dataset: str, context: RunContext) -> Tuple[str, object, float]:
-    """Run one task; top-level so process-pool workers can unpickle it.
-
-    Returns a ``(tag, payload, duration)`` triple -- ``("ok", profile, s)``
-    or ``("error", (exception, traceback text), s)`` -- so the parent gets
-    worker-measured durations and full tracebacks for failures too (a
-    raised exception would only carry the parent's wait time, and pickling
-    strips ``__traceback__``).
-    """
-    # A freshly spawned worker has not imported the app modules; the
-    # registry self-populates on first lookup (see _ensure_apps_imported).
-    start = time.perf_counter()
-    try:
-        profile = registry.execute(app, dataset, context)
-    except Exception as exc:  # noqa: BLE001 - reported per task
-        return STATUS_ERROR, (exc, traceback.format_exc()), time.perf_counter() - start
-    return STATUS_OK, profile, time.perf_counter() - start
-
-
 #: Minimum pending tasks before a process pool is worth its spawn cost.
 MIN_TASKS_FOR_POOL = 2
 
+#: One warning per process for a bad REPRO_EVAL_WORKERS, not one per call.
+_warned_bad_workers = False
+
 
 def default_workers() -> int:
-    """Worker count from ``REPRO_EVAL_WORKERS`` (default: serial)."""
+    """Worker count from ``REPRO_EVAL_WORKERS`` (default: serial).
+
+    An unparseable value falls back to serial with a (once per process)
+    warning -- a silently ignored ``REPRO_EVAL_WORKERS=8x`` otherwise looks
+    exactly like a slow machine.
+    """
+    global _warned_bad_workers
+    raw = os.environ.get("REPRO_EVAL_WORKERS", "1")
     try:
-        return max(1, int(os.environ.get("REPRO_EVAL_WORKERS", "1")))
+        return max(1, int(raw))
     except ValueError:
+        if not _warned_bad_workers:
+            _warned_bad_workers = True
+            warnings.warn(
+                f"ignoring unparseable REPRO_EVAL_WORKERS={raw!r}; running serial",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return 1
 
 
@@ -137,19 +141,28 @@ def pool_is_profitable(workers: int, pending_tasks: int) -> bool:
 class ExperimentRunner:
     """Runs registered applications over their datasets, cached and parallel.
 
+    The runner is a thin client of the executor layer: it plans the grid,
+    serves cache hits, and hands the pending cells to an executor as
+    ``profile`` work units (the same payloads ``repro-eval worker``
+    executes remotely).
+
     Args:
         context: Run parameters shared by every task.
-        workers: Process-pool size; ``1`` runs serially in-process and
-            ``None`` reads ``REPRO_EVAL_WORKERS`` (default serial). Even
-            with ``workers > 1`` the runner falls back to serial when the
-            machine has a single core or too few tasks are pending for a
-            pool to pay off (see :func:`pool_is_profitable`).
+        workers: Parallelism; ``1`` runs serially in-process and ``None``
+            reads ``REPRO_EVAL_WORKERS`` (default serial). Even with
+            ``workers > 1`` the default executor falls back to serial when
+            the machine has a single core or too few tasks are pending for
+            a pool to pay off (see :func:`pool_is_profitable`).
         cache: ``True`` (default) uses the default on-disk profile cache,
             ``False``/``None`` disables caching, or pass a
             :class:`ProfileCache` instance. The
             ``REPRO_PROFILE_CACHE_DISABLE`` kill switch overrides ``True``.
         raise_on_error: Re-raise the first task failure (default). When
             ``False``, failures are reported as ``"error"`` task results.
+        executor: ``None`` picks local/pool automatically per run; a name
+            (``"local"``/``"pool"``/``"subprocess"``) builds that executor
+            with ``workers``; or pass a configured
+            :class:`~repro.runtime.executors.base.Executor` instance.
     """
 
     def __init__(
@@ -158,6 +171,7 @@ class ExperimentRunner:
         workers: Optional[int] = None,
         cache: Union[ProfileCache, bool, None] = True,
         raise_on_error: bool = True,
+        executor: Union[str, Executor, None] = None,
     ):
         self.context = context or RunContext()
         self.workers = default_workers() if workers is None else max(1, int(workers))
@@ -168,6 +182,7 @@ class ExperimentRunner:
         else:
             self.cache = cache
         self.raise_on_error = raise_on_error
+        self.executor = executor
 
     def tasks(self, apps: Optional[Sequence[str]] = None) -> List[Tuple[str, str]]:
         """The (app, dataset) grid in deterministic registry order."""
@@ -186,27 +201,56 @@ class ExperimentRunner:
 
         pending: List[Tuple[str, str]] = []
         for app, dataset in grid:
+            lookup_started = time.perf_counter()
             cached = self._load_cached(app, dataset)
             if cached is not None:
                 results[(app, dataset)] = TaskResult(
-                    app=app, dataset=dataset, status=STATUS_CACHED, profile=cached
+                    app=app,
+                    dataset=dataset,
+                    status=STATUS_CACHED,
+                    duration_s=time.perf_counter() - lookup_started,
+                    profile=cached,
                 )
             else:
                 pending.append((app, dataset))
 
+        executor = self._resolve_executor(len(pending))
         if pending:
-            if pool_is_profitable(self.workers, len(pending)):
-                self._run_parallel(pending, results)
-            else:
-                self._run_serial(pending, results)
+            context_dict = context_to_dict(self.context)
+            payloads = [
+                # cache=False: the runner owns caching through self.cache
+                # (possibly a custom instance), so units run bare.
+                {"kind": "profile", "app": app, "dataset": dataset,
+                 "context": context_dict, "cache": False}
+                for app, dataset in pending
+            ]
+            outcomes = executor.run_units(payloads, stop_on_error=self.raise_on_error)
+            if self.raise_on_error:
+                # Surface the actual failure, not a unit that merely got
+                # cancelled in its wake (stop_on_error cancels the rest).
+                for (app, dataset), outcome in zip(pending, outcomes):
+                    if outcome.status in (OUTCOME_ERROR, OUTCOME_TIMEOUT):
+                        raise self._failure_exception(app, dataset, outcome)
+            for (app, dataset), outcome in zip(pending, outcomes):
+                self._record(app, dataset, outcome, results)
 
-        report = RunReport(
+        return RunReport(
             context=self.context,
             results=[results[task] for task in grid],
             workers=self.workers,
             wall_time_s=time.perf_counter() - started,
+            executor=executor.name,
         )
-        return report
+
+    def _resolve_executor(self, pending_tasks: int) -> Executor:
+        """The executor for this run (see the ``executor`` constructor arg)."""
+        if isinstance(self.executor, Executor):
+            return self.executor
+        if isinstance(self.executor, str):
+            return create_executor(self.executor, workers=self.workers)
+        if pool_is_profitable(self.workers, pending_tasks):
+            return PoolExecutor(self.workers)
+        return LocalExecutor(self.workers)
 
     def _key(self, app: str, dataset: str) -> str:
         context_fields = registry.get_spec(app).context_fields
@@ -221,45 +265,47 @@ class ExperimentRunner:
         self,
         app: str,
         dataset: str,
-        outcome: Tuple[str, object, float],
+        outcome: UnitOutcome,
         results: Dict[Tuple[str, str], TaskResult],
     ) -> None:
-        """Turn one task outcome into a TaskResult (raising if configured)."""
-        tag, payload, duration = outcome
-        if tag == STATUS_ERROR:
-            exc, tb_text = payload
+        """Turn one unit outcome into a TaskResult (raising if configured)."""
+        if outcome.status != OUTCOME_OK:
             if self.raise_on_error:
-                if exc.__traceback__ is None:
-                    # The exception crossed a process boundary; chain the
-                    # worker-side traceback so the failure site is visible.
-                    exc.__cause__ = _RemoteTraceback(tb_text)
-                raise exc
-            summary = traceback.format_exception_only(type(exc), exc)[-1].strip()
+                raise self._failure_exception(app, dataset, outcome)
+            error = outcome.error or outcome.status
             results[(app, dataset)] = TaskResult(
-                app=app, dataset=dataset, status=STATUS_ERROR, duration_s=duration, error=summary
+                app=app,
+                dataset=dataset,
+                status=STATUS_ERROR,
+                duration_s=outcome.duration_s,
+                error=error,
             )
             return
-        profile = payload
+        profile = outcome.result
         if self.cache is not None:
             self.cache.store(self._key(app, dataset), profile)
         results[(app, dataset)] = TaskResult(
-            app=app, dataset=dataset, status=STATUS_OK, duration_s=duration, profile=profile
+            app=app,
+            dataset=dataset,
+            status=STATUS_OK,
+            duration_s=outcome.duration_s,
+            profile=profile,
         )
 
-    def _run_serial(
-        self, pending: List[Tuple[str, str]], results: Dict[Tuple[str, str], TaskResult]
-    ) -> None:
-        for app, dataset in pending:
-            self._record(app, dataset, _execute_task(app, dataset, self.context), results)
+    @staticmethod
+    def _failure_exception(app: str, dataset: str, outcome: UnitOutcome) -> BaseException:
+        """The exception to re-raise for a failed unit.
 
-    def _run_parallel(
-        self, pending: List[Tuple[str, str]], results: Dict[Tuple[str, str], TaskResult]
-    ) -> None:
-        max_workers = min(self.workers, len(pending))
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            futures = {
-                (app, dataset): pool.submit(_execute_task, app, dataset, self.context)
-                for app, dataset in pending
-            }
-            for (app, dataset), future in futures.items():
-                self._record(app, dataset, future.result(), results)
+        Prefers the original exception object; when it crossed a process
+        boundary the worker-side traceback is chained so the failure site
+        stays visible.
+        """
+        exc = outcome.exception
+        if exc is None:
+            return WorkerError(
+                f"{app}/{dataset} failed: {outcome.error or outcome.status}",
+                outcome.traceback,
+            )
+        if exc.__traceback__ is None and outcome.traceback:
+            exc.__cause__ = _RemoteTraceback(outcome.traceback)
+        return exc

@@ -39,7 +39,9 @@ from ..errors import CapstanError
 from .cache import code_fingerprint
 
 #: Bump when schema.sql changes incompatibly; mirrored into user_version.
-SCHEMA_VERSION = 1
+#: Version 2 added the job layer (``jobs`` / ``work_units``) additively, so
+#: version-1 databases upgrade in place on first open.
+SCHEMA_VERSION = 2
 
 #: Environment override for the database location.
 ENV_RUN_DB = "REPRO_RUN_DB"
@@ -164,6 +166,11 @@ class RunStore:
         with self._connection:
             self._connection.executescript(schema)
             self._connection.execute(f"PRAGMA user_version={SCHEMA_VERSION}")
+
+    @property
+    def connection(self) -> sqlite3.Connection:
+        """The live connection (shared with :class:`~repro.runtime.jobs.JobStore`)."""
+        return self._connection
 
     def close(self) -> None:
         self._connection.close()

@@ -1,4 +1,4 @@
--- Experiment run store schema, version 1.
+-- Experiment run store schema, version 2.
 --
 -- One row per bench run in `runs` (the full record is kept verbatim in
 -- `record_json`); each record section -- the implicit top-level "runner"
@@ -7,6 +7,14 @@
 -- metric is additionally flattened into `section_metrics` so history and
 -- trend queries are single indexed scans instead of JSON decoding.
 -- Baselines are frozen snapshots of one recorded run under a name.
+--
+-- Version 2 adds the job layer: `jobs` holds one row per submitted sweep
+-- (content-addressed by spec key, so re-submitting the same grid resumes
+-- the existing job instead of duplicating it) and `work_units` holds its
+-- shards -- one content-addressed unit per row with its state machine
+-- (pending/running/done/failed), attempt count, and result. A killed
+-- sweep resumes by resetting stale `running` rows to `pending`; `done`
+-- rows are never re-executed.
 --
 -- The version lives in `PRAGMA user_version`, written by RunStore when it
 -- applies this file; bump RunStore.SCHEMA_VERSION on incompatible change.
@@ -56,3 +64,31 @@ CREATE TABLE IF NOT EXISTS baselines (
     code_fingerprint TEXT NOT NULL,
     snapshot_json    TEXT NOT NULL
 );
+
+CREATE TABLE IF NOT EXISTS jobs (
+    id         INTEGER PRIMARY KEY,
+    key        TEXT NOT NULL UNIQUE,
+    name       TEXT NOT NULL,
+    created_at TEXT NOT NULL,
+    updated_at TEXT NOT NULL,
+    state      TEXT NOT NULL DEFAULT 'pending',
+    executor   TEXT,
+    workers    INTEGER
+);
+
+CREATE TABLE IF NOT EXISTS work_units (
+    job_id       INTEGER NOT NULL REFERENCES jobs (id) ON DELETE CASCADE,
+    seq          INTEGER NOT NULL,
+    key          TEXT NOT NULL,
+    kind         TEXT NOT NULL,
+    payload_json TEXT NOT NULL,
+    state        TEXT NOT NULL DEFAULT 'pending',
+    attempts     INTEGER NOT NULL DEFAULT 0,
+    duration_s   REAL,
+    error        TEXT,
+    result_json  TEXT,
+    PRIMARY KEY (job_id, seq)
+);
+
+CREATE INDEX IF NOT EXISTS work_units_by_key ON work_units (key);
+CREATE INDEX IF NOT EXISTS work_units_by_state ON work_units (job_id, state);

@@ -1,0 +1,542 @@
+"""``repro-serve``: a cache-front HTTP API over the experiment stores.
+
+The ROADMAP's north star is serving the paper's evaluation grid to
+multi-user traffic. This module is the serving seam: a small stdlib-only
+(asyncio) HTTP/1.1 server that answers **warm** queries straight from the
+content-addressed stores -- the profile cache, the SpMU throughput store,
+and the SQLite run/job store -- without executing any workload, and turns
+**cold** queries into persisted jobs (:mod:`repro.runtime.jobs`) that any
+executor can drain, including a ``--drain`` worker inside the server
+process.
+
+Endpoints (all JSON):
+
+* ``GET /health`` -- liveness and store locations.
+* ``GET /profile?app=bfs&dataset=wikipedia&scale=1/64`` -- ``200`` with
+  the cached profile on a warm key; ``202`` with an enqueued job id on a
+  cold one (``enqueue=0`` turns that into a plain ``404`` miss).
+* ``GET /throughput?ordering=unordered&lanes=16&banks=16`` -- same
+  contract over the SpMU throughput store.
+* ``GET /runs?limit=10`` -- recorded bench-run history.
+* ``GET /jobs`` / ``GET /jobs/<id>`` -- job states and unit counts.
+* ``POST /jobs`` -- submit a job spec, e.g. ``{"type": "profile_grid",
+  "apps": ["bfs"], "context": {"scale": 0.015625}}``.
+
+The protocol subset is deliberately tiny (request line + headers + JSON
+bodies, one request per connection) so the whole layer stays dependency-
+free and trivially testable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import threading
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from ..config import SpMUConfig
+from ..core.ordering import OrderingMode
+from ..errors import CapstanError
+from . import registry
+from .cache import (
+    ProfileCache,
+    ThroughputStore,
+    _json_default,
+    profile_to_dict,
+)
+from .jobs import (
+    JOB_PENDING,
+    JobSpec,
+    JobStore,
+    WorkUnit,
+    context_from_dict,
+    context_to_dict,
+)
+from .registry import RunContext
+from .runstore import RunStore, default_run_db
+
+_STATUS_PHRASES = {
+    200: "OK",
+    201: "Created",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+}
+
+
+class _BadRequest(CapstanError):
+    """Client error -> HTTP 400."""
+
+
+def _parse_scale_text(text: str) -> float:
+    if "/" in text:
+        numerator, _, denominator = text.partition("/")
+        return float(numerator) / float(denominator)
+    return float(text)
+
+
+def _context_from_query(query: Dict[str, str]) -> RunContext:
+    """Build the run context named by query parameters (defaults apply)."""
+    kwargs: Dict[str, Any] = {}
+    try:
+        if "scale" in query:
+            kwargs["scale"] = _parse_scale_text(query["scale"])
+        if "pagerank_iterations" in query:
+            kwargs["pagerank_iterations"] = int(query["pagerank_iterations"])
+        if "conv_scale" in query:
+            kwargs["conv_scale"] = _parse_scale_text(query["conv_scale"])
+        if "backend" in query:
+            kwargs["backend"] = query["backend"]
+    except (ValueError, ZeroDivisionError) as exc:
+        raise _BadRequest(f"bad context parameter: {exc}") from None
+    return RunContext(**kwargs)
+
+
+def _wants_enqueue(query: Dict[str, str]) -> bool:
+    return query.get("enqueue", "1").strip().lower() not in ("0", "false", "no")
+
+
+class CacheServer:
+    """The request handler: store lookups in, JSON responses out.
+
+    Synchronous on purpose -- every lookup is a file read or an indexed
+    SQLite query, and running them inline on the event loop keeps the
+    single store connection on one thread. Construct it on the thread
+    that runs the loop.
+    """
+
+    def __init__(
+        self,
+        *,
+        db: Optional[Path] = None,
+        cache_root: Optional[Path] = None,
+    ):
+        self.profile_cache = (
+            ProfileCache(root=Path(cache_root)) if cache_root else ProfileCache()
+        )
+        self.throughput_store = ThroughputStore()
+        self.run_store = RunStore(db)
+        self.jobs = JobStore(store=self.run_store)
+
+    def close(self) -> None:
+        self.run_store.close()
+
+    # ------------------------------------------------------------ routes
+
+    def handle(
+        self, method: str, path: str, query: Dict[str, str], body: bytes
+    ) -> Tuple[int, Dict[str, Any]]:
+        """Dispatch one request; returns ``(status, payload)``."""
+        try:
+            if path == "/health" and method == "GET":
+                return 200, {
+                    "status": "ok",
+                    "profile_cache": str(self.profile_cache.root),
+                    "db": str(self.run_store.path),
+                }
+            if path == "/profile" and method == "GET":
+                return self._profile(query)
+            if path == "/throughput" and method == "GET":
+                return self._throughput(query)
+            if path == "/runs" and method == "GET":
+                return self._runs(query)
+            if path == "/jobs" and method == "GET":
+                return self._jobs()
+            if path == "/jobs" and method == "POST":
+                return self._submit(body)
+            if path.startswith("/jobs/") and method == "GET":
+                return self._job(path[len("/jobs/") :])
+            if path in ("/health", "/profile", "/throughput", "/runs", "/jobs"):
+                return 405, {"error": f"method {method} not allowed on {path}"}
+            return 404, {"error": f"no route {path}"}
+        except _BadRequest as exc:
+            return 400, {"error": str(exc)}
+        except (CapstanError, registry.RegistryError) as exc:
+            return 400, {"error": str(exc)}
+        except Exception as exc:  # noqa: BLE001 - server must answer
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+
+    def _profile(self, query: Dict[str, str]) -> Tuple[int, Dict[str, Any]]:
+        app = query.get("app")
+        dataset = query.get("dataset")
+        if not app or not dataset:
+            raise _BadRequest("profile queries need app= and dataset=")
+        spec = registry.get_spec(app)
+        if dataset not in spec.datasets:
+            raise _BadRequest(
+                f"unknown dataset {dataset!r} for {app}; known: {', '.join(spec.datasets)}"
+            )
+        context = _context_from_query(query)
+        key = self.profile_cache.key(app, dataset, context, context_fields=spec.context_fields)
+        profile = self.profile_cache.load(key)
+        if profile is not None:
+            return 200, {
+                "status": "cached",
+                "key": key,
+                "profile": profile_to_dict(profile),
+            }
+        if not _wants_enqueue(query):
+            return 404, {"status": "miss", "key": key}
+        unit = WorkUnit(
+            key=key,
+            kind="profile",
+            payload={
+                "kind": "profile",
+                "app": app,
+                "dataset": dataset,
+                "context": context_to_dict(context),
+                "cache_root": str(self.profile_cache.root),
+            },
+        )
+        job = self.jobs.submit(JobSpec(name=f"serve:profile:{app}/{dataset}", units=(unit,)))
+        return 202, {"status": "enqueued", "key": key, "job": job.id, "job_state": job.state}
+
+    def _throughput(self, query: Dict[str, str]) -> Tuple[int, Dict[str, Any]]:
+        try:
+            ordering = OrderingMode(query.get("ordering", "unordered"))
+            lanes = int(query.get("lanes", 16))
+            overrides = {
+                field: int(query[field])
+                for field in ("banks", "queue_depth", "crossbar_inputs")
+                if field in query
+            }
+        except ValueError as exc:
+            raise _BadRequest(f"bad throughput parameter: {exc}") from None
+        bank_mapping = query.get("bank_mapping", "hash")
+        allocator = query.get("allocator", "separable")
+        config = SpMUConfig(**overrides)
+        key = self.throughput_store.key(
+            ordering=ordering,
+            bank_mapping=bank_mapping,
+            allocator_kind=allocator,
+            config=config,
+            lanes=lanes,
+        )
+        throughput = self.throughput_store.load(key)
+        if throughput is not None:
+            return 200, {"status": "cached", "key": key, "throughput": throughput}
+        if not _wants_enqueue(query):
+            return 404, {"status": "miss", "key": key}
+        payload = {
+            "kind": "throughput",
+            "ordering": ordering.value,
+            "bank_mapping": bank_mapping,
+            "allocator": allocator,
+            "lanes": lanes,
+            "config": overrides,
+        }
+        unit = WorkUnit(key=key, kind="throughput", payload=payload)
+        job = self.jobs.submit(JobSpec(name=f"serve:throughput:{key[:12]}", units=(unit,)))
+        return 202, {"status": "enqueued", "key": key, "job": job.id, "job_state": job.state}
+
+    def _runs(self, query: Dict[str, str]) -> Tuple[int, Dict[str, Any]]:
+        try:
+            limit = int(query.get("limit", 10))
+        except ValueError as exc:
+            raise _BadRequest(f"bad limit: {exc}") from None
+        runs = self.run_store.runs(limit=limit)
+        return 200, {
+            "runs": [
+                {
+                    "id": run.id,
+                    "created_at": run.created_at,
+                    "benchmark": run.benchmark,
+                    "scale": run.scale,
+                    "workers": run.workers,
+                    "label": run.label,
+                    "executor": run.record.get("executor"),
+                }
+                for run in runs
+            ]
+        }
+
+    def _jobs(self) -> Tuple[int, Dict[str, Any]]:
+        jobs = []
+        for job in self.jobs.jobs(limit=50):
+            entry = job.to_dict()
+            entry["units"] = self.jobs.unit_states(job.id)
+            jobs.append(entry)
+        return 200, {"jobs": jobs}
+
+    def _job(self, raw_id: str) -> Tuple[int, Dict[str, Any]]:
+        try:
+            job_id = int(raw_id)
+        except ValueError:
+            raise _BadRequest(f"bad job id {raw_id!r}") from None
+        job = self.jobs.job(job_id)
+        if job is None:
+            return 404, {"error": f"no job {job_id}"}
+        payload = job.to_dict()
+        payload["units"] = self.jobs.unit_states(job_id)
+        payload["failed_units"] = [
+            {"seq": unit.seq, "kind": unit.kind, "error": unit.error}
+            for unit in self.jobs.units(job_id, state="failed")
+        ]
+        return 200, payload
+
+    def _submit(self, body: bytes) -> Tuple[int, Dict[str, Any]]:
+        try:
+            request = json.loads(body.decode() or "{}")
+        except ValueError as exc:
+            raise _BadRequest(f"bad JSON body: {exc}") from None
+        kind = request.get("type")
+        apps = request.get("apps")
+        context = context_from_dict(request.get("context"))
+        if kind == "profile_grid":
+            spec = JobSpec.profile_grid(
+                apps, context, cache_root=self.profile_cache.root
+            )
+        elif kind == "dse_grid":
+            axes = request.get("axes")
+            if not axes:
+                raise _BadRequest("dse_grid jobs need a non-empty 'axes' mapping")
+            spec = JobSpec.dse_grid(axes, apps=apps, context=context)
+        elif kind == "table_suite":
+            spec = JobSpec.table_suite(request.get("tables"), scale=request.get("scale"))
+        else:
+            raise _BadRequest(
+                f"unknown job type {kind!r}; known: profile_grid, dse_grid, table_suite"
+            )
+        existing = self.jobs.job_by_key(spec.key)
+        job = self.jobs.submit(spec)
+        status = 200 if existing is not None else 201
+        payload = job.to_dict()
+        payload["units"] = self.jobs.unit_states(job.id)
+        payload["resumed"] = existing is not None
+        return status, payload
+
+    # -------------------------------------------------------- HTTP layer
+
+    async def serve_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One request per connection; minimal HTTP/1.1, JSON responses."""
+        try:
+            request_line = await reader.readline()
+            parts = request_line.decode("latin-1").split()
+            if len(parts) < 2:
+                return
+            method, target = parts[0], parts[1]
+            content_length = 0
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                if name.strip().lower() == "content-length":
+                    try:
+                        content_length = int(value.strip())
+                    except ValueError:
+                        content_length = 0
+            body = await reader.readexactly(content_length) if content_length else b""
+            split = urlsplit(target)
+            query = {
+                name: values[-1] for name, values in parse_qs(split.query).items()
+            }
+            status, payload = self.handle(method.upper(), split.path, query, body)
+            data = json.dumps(payload, default=_json_default).encode()
+            phrase = _STATUS_PHRASES.get(status, "OK")
+            head = (
+                f"HTTP/1.1 {status} {phrase}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(data)}\r\n"
+                "Connection: close\r\n\r\n"
+            )
+            writer.write(head.encode("latin-1") + data)
+            await writer.drain()
+        except (asyncio.IncompleteReadError, ConnectionError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+
+def drain_pending_jobs(
+    db: Optional[Path],
+    *,
+    stop: threading.Event,
+    poll_s: float = 0.25,
+    workers: int = 1,
+) -> None:
+    """Run pending jobs with a local executor until ``stop`` is set.
+
+    Runs on its own thread with its own store connection; this is the
+    in-process stand-in for an external worker fleet draining the same
+    queue through ``repro-eval sweep --resume``.
+    """
+    from .executors import LocalExecutor
+
+    executor = LocalExecutor(workers)
+    with JobStore(db) as store:
+        while not stop.is_set():
+            pending = [job for job in store.jobs() if job.state == JOB_PENDING]
+            if not pending:
+                stop.wait(poll_s)
+                continue
+            # jobs() is newest-first; drain oldest first.
+            store.run_job(pending[-1].id, executor)
+
+
+class BackgroundServer:
+    """Run a :class:`CacheServer` on a daemon thread (tests, embedding).
+
+    Usage::
+
+        with BackgroundServer(db=db_path, cache_root=cache_dir) as server:
+            urlopen(server.url + "/health")
+    """
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        db: Optional[Path] = None,
+        cache_root: Optional[Path] = None,
+        drain: bool = False,
+    ):
+        self.host = host
+        self.port = port
+        self._db = db
+        self._cache_root = cache_root
+        self._drain = drain
+        self._started = threading.Event()
+        self._stop = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_async: Optional[asyncio.Event] = None
+        self._error: Optional[BaseException] = None
+        self._thread = threading.Thread(target=self._run, daemon=True, name="repro-serve")
+        self._drain_thread: Optional[threading.Thread] = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "BackgroundServer":
+        self._thread.start()
+        if self._drain:
+            self._drain_thread = threading.Thread(
+                target=drain_pending_jobs,
+                args=(self._db,),
+                kwargs={"stop": self._stop},
+                daemon=True,
+                name="repro-serve-drain",
+            )
+            self._drain_thread.start()
+        if not self._started.wait(timeout=30):
+            raise RuntimeError("serve thread failed to start in time")
+        if self._error is not None:
+            raise RuntimeError(f"serve thread failed: {self._error}")
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._loop is not None and self._stop_async is not None:
+            self._loop.call_soon_threadsafe(self._stop_async.set)
+        self._thread.join(timeout=10)
+        if self._drain_thread is not None:
+            self._drain_thread.join(timeout=10)
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._serve())
+        except BaseException as exc:  # noqa: BLE001 - surfaced via start()
+            self._error = exc
+            self._started.set()
+
+    async def _serve(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_async = asyncio.Event()
+        handler = CacheServer(db=self._db, cache_root=self._cache_root)
+        server = await asyncio.start_server(handler.serve_client, self.host, self.port)
+        try:
+            self.port = server.sockets[0].getsockname()[1]
+            self._started.set()
+            await self._stop_async.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            handler.close()
+
+
+async def _serve_forever(args: argparse.Namespace) -> None:
+    handler = CacheServer(
+        db=Path(args.db) if args.db else None,
+        cache_root=Path(args.cache_dir) if args.cache_dir else None,
+    )
+    server = await asyncio.start_server(handler.serve_client, args.host, args.port)
+    address = server.sockets[0].getsockname()
+    print(f"repro-serve listening on http://{address[0]}:{address[1]}")
+    print(f"  profile cache: {handler.profile_cache.root}")
+    print(f"  run/job store: {handler.run_store.path}")
+    try:
+        async with server:
+            await server.serve_forever()
+    finally:
+        handler.close()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description=(
+            "Serve warm profile/throughput/run-history queries from the "
+            "content-addressed stores; enqueue jobs for cold ones."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address (default: loopback)")
+    parser.add_argument(
+        "--port", type=int, default=8642, help="port (default: 8642; 0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--db", default=None, help=f"run/job store (default: $REPRO_RUN_DB or {default_run_db()})"
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, help="profile cache directory (default: the shared cache)"
+    )
+    parser.add_argument(
+        "--drain",
+        action="store_true",
+        help="also drain enqueued jobs in-process with a local executor",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(sys.argv[1:] if argv is None else argv)
+    stop = threading.Event()
+    if args.drain:
+        drain_thread = threading.Thread(
+            target=drain_pending_jobs,
+            args=(Path(args.db) if args.db else None,),
+            kwargs={"stop": stop},
+            daemon=True,
+            name="repro-serve-drain",
+        )
+        drain_thread.start()
+    try:
+        asyncio.run(_serve_forever(args))
+    except KeyboardInterrupt:
+        pass
+    finally:
+        stop.set()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

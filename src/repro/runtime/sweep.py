@@ -56,6 +56,67 @@ _SPMU_FIELDS = ("banks", "queue_depth", "crossbar_inputs")
 KNOWN_AXES = _PLATFORM_FIELDS + ("memory", "shuffle") + _CONFIG_FIELDS + _SPMU_FIELDS
 
 
+def _parse_bool(text: str) -> bool:
+    lowered = text.strip().lower()
+    if lowered in ("1", "true", "yes"):
+        return True
+    if lowered in ("0", "false", "no"):
+        return False
+    raise ValueError(f"not a boolean: {text!r}")
+
+
+def _parse_choice(*allowed: str) -> Callable[[str], str]:
+    def parse(text: str) -> str:
+        if text not in allowed:
+            raise ValueError(f"expected one of {', '.join(allowed)}, got {text!r}")
+        return text
+
+    return parse
+
+
+#: Value parser per sweep axis name, shared by the CLI (``--axis NAME=...``)
+#: and the job layer (axis values round-trip through JSON as strings/ints).
+AXIS_VALUE_PARSERS: Dict[str, Callable[[Any], Any]] = {
+    "ordering": OrderingMode,
+    "memory": MemoryTechnology,
+    "shuffle": ShuffleMode,
+    "ideal_sram": _parse_bool,
+    "lanes": int,
+    "banks": int,
+    "compute_units": int,
+    "queue_depth": int,
+    "crossbar_inputs": int,
+    "bank_mapping": _parse_choice("hash", "linear"),
+    "allocator": _parse_choice("separable", "greedy", "arbitrated"),
+}
+
+
+def parse_axis_value(axis: str, value: Any) -> Any:
+    """Parse one JSON/CLI axis value into its native sweep type.
+
+    Native values (enums, bools, ints already of the right type) pass
+    through unchanged, so parsed axes are idempotent.
+    """
+    parser = AXIS_VALUE_PARSERS.get(axis)
+    if parser is None:
+        raise ConfigurationError(
+            f"unknown sweep axis {axis!r}; known: {', '.join(sorted(AXIS_VALUE_PARSERS))}"
+        )
+    if isinstance(value, (Enum, bool)):
+        return value
+    if isinstance(value, int) and axis not in ("ordering", "memory", "shuffle"):
+        return value
+    try:
+        return parser(value)
+    except ValueError as exc:
+        raise ConfigurationError(f"bad value for axis {axis!r}: {exc}") from None
+
+
+def axis_value_to_json(value: Any) -> Any:
+    """The JSON form of one axis value (enums collapse to their value)."""
+    return getattr(value, "value", value)
+
+
 def _apply_axis(platform: CapstanPlatform, axis: str, value: Any) -> CapstanPlatform:
     if axis in _PLATFORM_FIELDS:
         if axis == "ordering":

@@ -36,6 +36,7 @@ from repro.eval.regression import (
 )
 from repro.runtime import cli
 from repro.runtime.runstore import (
+    SCHEMA_VERSION,
     RunStore,
     RunStoreError,
     default_run_db,
@@ -106,7 +107,7 @@ class TestRunStore:
     def test_wal_mode_and_user_version(self, store):
         connection = sqlite3.connect(store.path)
         assert connection.execute("PRAGMA journal_mode").fetchone()[0] == "wal"
-        assert connection.execute("PRAGMA user_version").fetchone()[0] == 1
+        assert connection.execute("PRAGMA user_version").fetchone()[0] == SCHEMA_VERSION
         connection.close()
 
     def test_reopen_preserves_rows(self, tmp_path):

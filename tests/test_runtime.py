@@ -14,8 +14,9 @@ from repro.eval.experiments import APP_DATASETS, APP_ORDER
 from repro.runtime import registry as registry_module
 from repro.runtime.cache import ProfileCache, profile_from_dict, profile_to_dict
 from repro.runtime import runner as runner_module
+from repro.runtime.executors import pool as pool_module
 from repro.runtime.registry import AppSpec, RegistryError, RunContext, register
-from repro.runtime.runner import ExperimentRunner, pool_is_profitable
+from repro.runtime.runner import ExperimentRunner, default_workers, pool_is_profitable
 from repro.runtime.sweep import sweep
 
 
@@ -287,11 +288,38 @@ class TestExperimentRunner:
         def forbidden(*args, **kwargs):
             raise AssertionError("process pool used on a single-core machine")
 
-        monkeypatch.setattr(runner_module, "ProcessPoolExecutor", forbidden)
+        monkeypatch.setattr(pool_module, "ProcessPoolExecutor", forbidden)
         report = ExperimentRunner(
             context=RunContext(scale=TINY), workers=4, cache=False
         ).run(apps=["spmv-csr"])
         assert report.executed_count() == len(report.results)
+
+    def test_cached_results_report_lookup_time(self, tmp_path):
+        context = RunContext(scale=TINY)
+        cache = ProfileCache(root=tmp_path)
+        ExperimentRunner(context=context, workers=1, cache=cache).run(apps=["spmv-csr"])
+        warm = ExperimentRunner(context=context, workers=1, cache=cache).run(
+            apps=["spmv-csr"]
+        )
+        assert warm.cached_count() == len(warm.results)
+        # The lookup is fast but it is real work; 0.0 would hide it.
+        assert all(r.duration_s > 0.0 for r in warm.results)
+
+    def test_default_workers_warns_once_on_bad_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EVAL_WORKERS", "8x")
+        monkeypatch.setattr(runner_module, "_warned_bad_workers", False)
+        with pytest.warns(RuntimeWarning, match="REPRO_EVAL_WORKERS"):
+            assert default_workers() == 1
+        # Second call falls back silently instead of spamming.
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            assert default_workers() == 1
+
+    def test_default_workers_parses_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EVAL_WORKERS", "6")
+        assert default_workers() == 6
 
     def test_pool_profitability_rules(self, monkeypatch):
         monkeypatch.setattr(runner_module.os, "cpu_count", lambda: 8)

@@ -1,0 +1,212 @@
+"""repro-serve tests: warm queries answered from stores, cold ones enqueued.
+
+Most tests drive :meth:`CacheServer.handle` directly (the HTTP layer is a
+thin JSON framing); one end-to-end test runs the real asyncio server with
+an in-process drain worker and watches a cold query turn warm.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.request
+
+import pytest
+
+from repro.runtime.executors import LocalExecutor
+from repro.runtime.jobs import JOB_PENDING, JobStore, execute_unit
+from repro.runtime.registry import app_datasets
+from repro.runtime.serve import BackgroundServer, CacheServer
+
+APP = "spmv-csr"
+SCALE_QUERY = "1/512"
+
+
+@pytest.fixture()
+def dataset():
+    return app_datasets()[APP][0]
+
+
+@pytest.fixture()
+def server(tmp_path):
+    handler = CacheServer(db=tmp_path / "runs.sqlite", cache_root=tmp_path / "cache")
+    yield handler
+    handler.close()
+
+
+def _get(handler: CacheServer, path: str, query=None):
+    return handler.handle("GET", path, dict(query or {}), b"")
+
+
+class TestRoutes:
+    def test_health(self, server):
+        status, payload = _get(server, "/health")
+        assert status == 200
+        assert payload["status"] == "ok"
+
+    def test_unknown_route_404(self, server):
+        status, _ = _get(server, "/teapot")
+        assert status == 404
+
+    def test_wrong_method_405(self, server):
+        status, _ = server.handle("POST", "/profile", {}, b"")
+        assert status == 405
+
+
+class TestProfileEndpoint:
+    def test_warm_query_serves_from_cache_without_executing(
+        self, server, dataset, monkeypatch
+    ):
+        # Warm the cache through the same unit a drain worker would run.
+        execute_unit(
+            {
+                "kind": "profile",
+                "app": APP,
+                "dataset": dataset,
+                "context": {"scale": 1 / 512},
+                "cache_root": str(server.profile_cache.root),
+            }
+        )
+
+        # From here on, any workload execution is a test failure.
+        def explode(*args, **kwargs):
+            raise AssertionError("warm serve path executed a workload")
+
+        monkeypatch.setattr("repro.runtime.registry.execute", explode)
+
+        status, payload = _get(
+            server, "/profile", {"app": APP, "dataset": dataset, "scale": SCALE_QUERY}
+        )
+        assert status == 200
+        assert payload["status"] == "cached"
+        assert payload["profile"]["app"] == APP
+
+    def test_cold_query_enqueues_idempotently(self, server, dataset):
+        query = {"app": APP, "dataset": dataset, "scale": SCALE_QUERY}
+        status, payload = _get(server, "/profile", query)
+        assert status == 202
+        assert payload["status"] == "enqueued"
+        job_id = payload["job"]
+
+        # The job is persisted and pending with exactly one profile unit.
+        with JobStore(store=server.run_store) as jobs:
+            job = jobs.job(job_id)
+            assert job is not None and job.state == JOB_PENDING
+            units = jobs.units(job_id)
+            assert len(units) == 1 and units[0].kind == "profile"
+
+        # Asking again resumes the same job, not a duplicate.
+        status, payload = _get(server, "/profile", query)
+        assert status == 202
+        assert payload["job"] == job_id
+
+    def test_cold_query_with_enqueue_disabled_is_a_miss(self, server, dataset):
+        status, payload = _get(
+            server,
+            "/profile",
+            {"app": APP, "dataset": dataset, "scale": SCALE_QUERY, "enqueue": "0"},
+        )
+        assert status == 404
+        assert payload["status"] == "miss"
+
+    def test_bad_parameters_rejected(self, server, dataset):
+        assert _get(server, "/profile", {"app": APP})[0] == 400
+        assert _get(server, "/profile", {"app": APP, "dataset": "nope"})[0] == 400
+        assert (
+            _get(server, "/profile", {"app": APP, "dataset": dataset, "scale": "1/0"})[0]
+            == 400
+        )
+        assert _get(server, "/profile", {"app": "warpdrive", "dataset": dataset})[0] == 400
+
+
+class TestThroughputEndpoint:
+    def test_cold_then_drained_then_warm(self, server, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_THROUGHPUT_CACHE", str(tmp_path / "tp"))
+        # Fresh store objects pick up the env override.
+        from repro.runtime.cache import ThroughputStore
+
+        server.throughput_store = ThroughputStore()
+
+        query = {"ordering": "unordered", "lanes": "4", "banks": "4"}
+        status, payload = _get(server, "/throughput", query)
+        assert status == 202
+        job_id = payload["job"]
+
+        with JobStore(store=server.run_store) as jobs:
+            summary = jobs.run_job(job_id, LocalExecutor())
+            assert summary.state == "done"
+
+        status, payload = _get(server, "/throughput", query)
+        assert status == 200
+        assert payload["status"] == "cached"
+        assert payload["throughput"] > 0
+
+    def test_bad_ordering_rejected(self, server):
+        status, _ = _get(server, "/throughput", {"ordering": "sideways"})
+        assert status == 400
+
+
+class TestJobsEndpoint:
+    def test_submit_then_resume_then_inspect(self, server):
+        body = json.dumps(
+            {"type": "profile_grid", "apps": [APP], "context": {"scale": 1 / 512}}
+        ).encode()
+        status, payload = server.handle("POST", "/jobs", {}, body)
+        assert status == 201
+        assert payload["resumed"] is False
+        job_id = payload["id"]
+        assert payload["units"] == {"pending": len(app_datasets()[APP])}
+
+        status, payload = server.handle("POST", "/jobs", {}, body)
+        assert status == 200
+        assert payload["resumed"] is True
+        assert payload["id"] == job_id
+
+        status, payload = _get(server, "/jobs")
+        assert status == 200
+        assert [job["id"] for job in payload["jobs"]] == [job_id]
+
+        status, payload = _get(server, f"/jobs/{job_id}")
+        assert status == 200
+        assert payload["failed_units"] == []
+
+        assert _get(server, "/jobs/999")[0] == 404
+        assert _get(server, "/jobs/xyz")[0] == 400
+
+    def test_unknown_job_type_rejected(self, server):
+        status, payload = server.handle(
+            "POST", "/jobs", {}, json.dumps({"type": "espresso"}).encode()
+        )
+        assert status == 400
+        assert "unknown job type" in payload["error"]
+
+    def test_runs_endpoint_empty_store(self, server):
+        status, payload = _get(server, "/runs")
+        assert status == 200
+        assert payload["runs"] == []
+
+
+class TestEndToEnd:
+    def test_cold_query_turns_warm_through_drain(self, tmp_path, dataset):
+        db = tmp_path / "runs.sqlite"
+        cache_root = tmp_path / "cache"
+        with BackgroundServer(db=db, cache_root=cache_root, drain=True) as server:
+            url = (
+                f"{server.url}/profile?app={APP}&dataset={dataset}&scale={SCALE_QUERY}"
+            )
+            with urllib.request.urlopen(url, timeout=10) as response:
+                first = json.loads(response.read())
+                assert response.status == 202
+                assert first["status"] == "enqueued"
+
+            deadline = time.perf_counter() + 60.0
+            payload = None
+            while time.perf_counter() < deadline:
+                with urllib.request.urlopen(url, timeout=10) as response:
+                    payload = json.loads(response.read())
+                    if response.status == 200:
+                        break
+                time.sleep(0.1)
+            assert payload is not None and payload["status"] == "cached"
+            assert payload["profile"]["app"] == APP
+            assert list(cache_root.glob("*.json"))
