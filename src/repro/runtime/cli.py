@@ -605,7 +605,7 @@ def _worker_main(argv: List[str]) -> int:
     import time
     import traceback
 
-    from . import jobs
+    from . import faults, jobs
     from .cache import _json_default
 
     args = build_worker_parser().parse_args(argv)
@@ -613,6 +613,9 @@ def _worker_main(argv: List[str]) -> int:
     # corrupt it, so the units run with stdout aliased to stderr.
     protocol = sys.stdout
     sys.stdout = sys.stderr
+    # Chaos seam: an armed slow_start fault (REPRO_FAULT_PLAN) delays this
+    # worker before it answers its first request.
+    faults.inject_startup_fault()
     for line in sys.stdin:
         line = line.strip()
         if not line:
@@ -646,6 +649,20 @@ def _worker_main(argv: List[str]) -> int:
                 "traceback": traceback.format_exc(),
                 "duration_s": time.perf_counter() - started,
             }
+        fault = faults.take_protocol_fault(payload)
+        if fault is not None and fault.kind == "malformed_line":
+            # Garbage instead of the response: the executor must kill this
+            # worker and retry the unit on a fresh one.
+            protocol.write("!!! not json !!!\n")
+            protocol.flush()
+            continue
+        if fault is not None and fault.kind == "truncated_line":
+            # A torn write from a dying process: half the bytes, no
+            # newline, then death -- the reader sees EOF mid-line.
+            text = json.dumps(response, default=_json_default)
+            protocol.write(text[: max(1, len(text) // 2)])
+            protocol.flush()
+            os._exit(fault.exit_code)
         protocol.write(json.dumps(response, default=_json_default) + "\n")
         protocol.flush()
         if args.once:
@@ -712,6 +729,21 @@ def build_sweep_parser() -> argparse.ArgumentParser:
         "--retries", type=int, default=0, help="extra attempts per failed unit (default: 0)"
     )
     parser.add_argument(
+        "--max-attempts", type=int, default=None, metavar="N",
+        help=(
+            "dead-letter ceiling: a unit whose cumulative attempts reach N "
+            "(or that fails permanently) moves to 'dead' and is never "
+            "re-claimed (default: retry forever on resume)"
+        ),
+    )
+    parser.add_argument(
+        "--lease", type=float, default=None, metavar="S",
+        help=(
+            "lease length in seconds for claimed units; a heartbeat "
+            "refreshes it while a wave executes (default: 60)"
+        ),
+    )
+    parser.add_argument(
         "--stop-on-error",
         action="store_true",
         help="cancel outstanding units after the first failure",
@@ -732,16 +764,60 @@ def build_sweep_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--status", type=int, default=None, metavar="JOB",
-        help="print one job's state and unit counts, then exit",
+        help=(
+            "print one job's state, unit counts, per-unit attempts, dead "
+            "units, and active lease owners, then exit"
+        ),
+    )
+    parser.add_argument(
+        "--watch", type=float, default=None, metavar="SECONDS",
+        help=(
+            "with --status: re-print the status every SECONDS until the "
+            "job reaches a terminal state"
+        ),
     )
     parser.add_argument("--jobs", action="store_true", help="list jobs, then exit")
     parser.add_argument("--json", default=None, help="also write the run summary here")
     return parser
 
 
+def _print_sweep_status(store: Any, job_id: int) -> Optional[str]:
+    """Print one job's status (counts, attempts, leases); returns its state."""
+    import time
+
+    from .jobs import UNIT_DEAD, UNIT_FAILED, UNIT_RUNNING
+
+    job = store.job(job_id)
+    if job is None:
+        print(f"no job {job_id} in {store.path}", file=sys.stderr)
+        return None
+    counts = store.unit_states(job.id)
+    print(f"job {job.id} ({job.name}): state={job.state}")
+    for state, n in sorted(counts.items()):
+        print(f"  {state}: {n}")
+    now = time.time()
+    for unit in store.units(job.id):
+        if unit.state == UNIT_RUNNING:
+            if unit.lease_owner:
+                expires = unit.lease_expires_at or now
+                lease = f"lease {unit.lease_owner} expires in {expires - now:+.0f}s"
+            else:
+                lease = "no lease (stale pre-lease row)"
+            print(
+                f"  running unit {unit.seq} ({unit.kind}): "
+                f"{unit.attempts} attempts, {lease}"
+            )
+        elif unit.state in (UNIT_FAILED, UNIT_DEAD):
+            print(
+                f"  {unit.state} unit {unit.seq} ({unit.kind}): "
+                f"{unit.attempts} attempts, {unit.error}"
+            )
+    return job.state
+
+
 def _sweep_main(argv: List[str]) -> int:
     from .executors import create_executor
-    from .jobs import UNIT_FAILED, JobSpec, JobStore
+    from .jobs import DEFAULT_LEASE_S, JOB_DONE, JOB_FAILED, JobSpec, JobStore
 
     parser = build_sweep_parser()
     args = parser.parse_args(argv)
@@ -761,17 +837,16 @@ def _sweep_main(argv: List[str]) -> int:
                 print(f"job {job.id} [{job.state:>7}] {job.name}: {summary}")
             return 0
         if args.status is not None:
-            job = store.job(args.status)
-            if job is None:
-                print(f"no job {args.status} in {store.path}", file=sys.stderr)
-                return 2
-            counts = store.unit_states(job.id)
-            print(f"job {job.id} ({job.name}): state={job.state}")
-            for state, n in sorted(counts.items()):
-                print(f"  {state}: {n}")
-            for unit in store.units(job.id, state=UNIT_FAILED):
-                print(f"  failed unit {unit.seq} ({unit.kind}): {unit.error}")
-            return 0
+            import time
+
+            while True:
+                state = _print_sweep_status(store, args.status)
+                if state is None:
+                    return 2
+                if args.watch is None or state in (JOB_DONE, JOB_FAILED):
+                    return 0
+                time.sleep(args.watch)
+                print()
 
         if args.resume is not None:
             job = store.job(args.resume)
@@ -818,6 +893,8 @@ def _sweep_main(argv: List[str]) -> int:
             summary = store.run_job(
                 job.id, executor, max_units=args.max_units,
                 stop_on_error=args.stop_on_error,
+                max_attempts=args.max_attempts,
+                lease_s=args.lease if args.lease is not None else DEFAULT_LEASE_S,
             )
         except CapstanError as exc:
             print(f"error: {exc}", file=sys.stderr)
@@ -826,8 +903,8 @@ def _sweep_main(argv: List[str]) -> int:
         print(
             f"job {job.id} state={summary.state}: executed {summary.executed} units "
             f"({summary.completed} ok, {summary.failed} failed, "
-            f"{summary.cancelled} cancelled) in {summary.wall_time_s:.2f}s "
-            f"on {executor.name}/{executor.workers}; now {counts}"
+            f"{summary.dead} dead, {summary.cancelled} cancelled) in "
+            f"{summary.wall_time_s:.2f}s on {executor.name}/{executor.workers}; now {counts}"
         )
         if summary.remaining:
             print(
@@ -837,7 +914,7 @@ def _sweep_main(argv: List[str]) -> int:
             with open(args.json, "w") as handle:
                 json.dump(summary.to_dict(), handle, indent=2)
             print(f"wrote {args.json}")
-        return 1 if summary.failed else 0
+        return 1 if (summary.failed or summary.dead) else 0
 
 
 _SUBCOMMANDS: Dict[str, Callable[[List[str]], int]] = {

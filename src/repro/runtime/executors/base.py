@@ -9,7 +9,14 @@ class owns the policy knobs so every backend behaves identically:
   ``"timeout"`` (and, where the backend owns a process, the worker is
   killed and respawned);
 * ``retries`` -- extra attempts after a failed or timed-out attempt, with
-  exponential backoff (``backoff_s * 2**(attempt-1)``);
+  exponentially-growing full-jitter backoff: attempt ``n`` waits a uniform
+  draw from ``[cap*(1-jitter), cap]`` where ``cap = backoff_s * 2**(n-1)``
+  and ``jitter`` defaults to 1.0 (full jitter). Jitter keeps the retry
+  storm after a killed wave from hammering the job store in lockstep;
+  ``seed`` pins the draws for deterministic tests. Failures classified
+  *permanent* by :func:`repro.runtime.health.classify_error` (bad spec,
+  import errors) skip the retry loop entirely -- no backoff, no extra
+  attempts -- and every final outcome carries its ``classification``;
 * ``cancel()`` -- callable from any thread; units not yet finished report
   ``"cancelled"`` and are left claimable by the job store;
 * ``stop_on_error`` -- per-run flag: after the first unit exhausts its
@@ -25,6 +32,7 @@ prefix -- the SSH-shaped seam).
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 import traceback
@@ -32,6 +40,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
 from ...errors import CapstanError
+from ..health import PERMANENT, classify_error
 
 #: Unit-outcome statuses.
 OUTCOME_OK = "ok"
@@ -71,6 +80,9 @@ class UnitOutcome:
             process (in-process executors; pool failures that unpickle).
         duration_s: Wall time of the last attempt.
         attempts: Attempts consumed (0 for units cancelled before starting).
+        classification: ``"transient"`` or ``"permanent"`` for failed
+            outcomes (see :mod:`repro.runtime.health`); ``None`` when ok
+            or cancelled.
     """
 
     status: str
@@ -80,6 +92,7 @@ class UnitOutcome:
     exception: Optional[BaseException] = None
     duration_s: float = 0.0
     attempts: int = 0
+    classification: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -111,7 +124,12 @@ class Executor:
         workers: Degree of parallelism the backend may use.
         timeout_s: Per-unit attempt cap in seconds (``None`` = unlimited).
         retries: Extra attempts after a failed/timed-out attempt.
-        backoff_s: Base of the exponential inter-attempt backoff.
+        backoff_s: Base of the exponential inter-attempt backoff cap.
+        jitter: Jittered fraction of each backoff, clamped to [0, 1]:
+            0 = the old deterministic exponential sleep, 1 (default) =
+            full jitter (uniform over ``[0, cap]``).
+        seed: Seed for the backoff RNG; ``None`` draws entropy (tests pin
+            a seed to make retry schedules reproducible).
     """
 
     name = "base"
@@ -123,11 +141,16 @@ class Executor:
         timeout_s: Optional[float] = None,
         retries: int = 0,
         backoff_s: float = 0.05,
+        jitter: float = 1.0,
+        seed: Optional[int] = None,
     ):
         self.workers = max(1, int(workers))
         self.timeout_s = timeout_s
         self.retries = max(0, int(retries))
         self.backoff_s = max(0.0, float(backoff_s))
+        self.jitter = min(1.0, max(0.0, float(jitter)))
+        self._rng = random.Random(seed)
+        self._rng_lock = threading.Lock()
         self._cancel_event = threading.Event()
 
     # ----------------------------------------------------------- control
@@ -145,14 +168,39 @@ class Executor:
 
     # ----------------------------------------------------------- helpers
 
+    def _backoff_delay(self, attempt: int) -> float:
+        """The jittered backoff delay after failed ``attempt`` (1-based)."""
+        cap = self.backoff_s * (2 ** (attempt - 1))
+        if cap <= 0 or self.jitter <= 0:
+            return cap
+        with self._rng_lock:
+            return cap * (1.0 - self.jitter) + self._rng.uniform(0.0, cap * self.jitter)
+
     def _backoff(self, attempt: int) -> None:
-        """Sleep the exponential backoff after failed ``attempt`` (1-based)."""
-        if self.backoff_s > 0:
+        """Sleep the jittered backoff after failed ``attempt`` (1-based)."""
+        delay = self._backoff_delay(attempt)
+        if delay > 0:
             # Wake early on cancel instead of sleeping through it.
-            self._cancel_event.wait(self.backoff_s * (2 ** (attempt - 1)))
+            self._cancel_event.wait(delay)
+
+    def classify_outcome(self, outcome: UnitOutcome) -> Optional[str]:
+        """Classification for a failed outcome (None when ok/cancelled)."""
+        if outcome.status in (OUTCOME_OK, OUTCOME_CANCELLED):
+            return None
+        if outcome.status == OUTCOME_TIMEOUT:
+            # A timeout says nothing about the spec; always worth a retry.
+            return classify_error(None)
+        return classify_error(
+            outcome.exception if outcome.exception is not None else outcome.error
+        )
 
     def _run_with_retries(self, attempt_once: Callable[[], UnitOutcome]) -> UnitOutcome:
-        """Drive one unit's attempt/retry loop to a final outcome."""
+        """Drive one unit's attempt/retry loop to a final outcome.
+
+        Permanent failures (see :mod:`repro.runtime.health`) return after
+        the first attempt -- retrying a bad spec or a missing import burns
+        the budget without changing the answer.
+        """
         attempts = 0
         while True:
             if self.cancelled():
@@ -160,7 +208,10 @@ class Executor:
             attempts += 1
             outcome = attempt_once()
             outcome.attempts = attempts
-            if outcome.status in (OUTCOME_OK, OUTCOME_CANCELLED) or attempts > self.retries:
+            outcome.classification = self.classify_outcome(outcome)
+            if outcome.status in (OUTCOME_OK, OUTCOME_CANCELLED):
+                return outcome
+            if outcome.classification == PERMANENT or attempts > self.retries:
                 return outcome
             self._backoff(attempts)
 

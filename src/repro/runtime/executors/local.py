@@ -72,16 +72,24 @@ class LocalExecutor(Executor):
             box["outcome"] = self._attempt_inline(payload)
 
         start = time.perf_counter()
+        deadline = start + self.timeout_s
         thread = threading.Thread(target=target, daemon=True)
         thread.start()
-        thread.join(self.timeout_s)
-        if thread.is_alive():
-            # The attempt thread is abandoned (daemon); in-process Python
-            # offers no safe preemption, which is why timeout-sensitive
-            # runs belong on the subprocess executor.
-            return UnitOutcome(
-                status=OUTCOME_TIMEOUT,
-                error=f"unit exceeded {self.timeout_s:g}s timeout",
-                duration_s=time.perf_counter() - start,
-            )
+        while thread.is_alive():
+            if self.cancelled():
+                # Abandon the attempt thread rather than riding out the
+                # full timeout: cancel() arriving mid-unit must return
+                # promptly so the job store can release the wave.
+                return UnitOutcome(status=OUTCOME_CANCELLED)
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                # The attempt thread is abandoned (daemon); in-process
+                # Python offers no safe preemption, which is why
+                # timeout-sensitive runs belong on the subprocess executor.
+                return UnitOutcome(
+                    status=OUTCOME_TIMEOUT,
+                    error=f"unit exceeded {self.timeout_s:g}s timeout",
+                    duration_s=time.perf_counter() - start,
+                )
+            thread.join(min(0.02, remaining))
         return box["outcome"]

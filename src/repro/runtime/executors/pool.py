@@ -12,6 +12,14 @@ Units are submitted in waves of at most ``workers`` so that, when a
 its deadline is meaningful. A pool cannot preempt a running task, so an
 expired deadline tears the pool down (``shutdown(cancel_futures=True)``)
 and a fresh pool resumes the remaining units.
+
+A worker that dies mid-task (``os._exit``, OOM kill, injected crash
+fault) breaks the whole ``ProcessPoolExecutor``: every in-flight future
+fails with ``BrokenProcessPool`` and the pool refuses further submits.
+That is recovered here the same way expired deadlines are -- the broken
+pool is torn down, in-flight units are charged one attempt each (the
+crasher is indistinguishable from its wave-mates) and re-queued within
+their retry budget, and a fresh pool resumes.
 """
 
 from __future__ import annotations
@@ -20,8 +28,10 @@ import time
 import traceback as traceback_module
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..health import PERMANENT
 from ..jobs import execute_unit
 from .base import (
     OUTCOME_CANCELLED,
@@ -98,13 +108,19 @@ class PoolExecutor(Executor):
                 if not done:
                     pool, failed = self._expire(pool, running, queue, attempts, outcomes, failed)
                     continue
+                broken: List[Tuple[int, BaseException]] = []
                 for future in done:
                     index, _submitted = running.pop(future)
-                    attempts[index] += 1
                     try:
                         tag, value, tb_text, duration = future.result()
+                    except BrokenProcessPool as exc:
+                        # A worker died and took the pool with it; settle
+                        # the whole wave together below.
+                        broken.append((index, exc))
+                        continue
                     except Exception as exc:  # noqa: BLE001 - pool/pickling failure
                         tag, value, tb_text, duration = OUTCOME_ERROR, exc, None, 0.0
+                    attempts[index] += 1
                     if tag == OUTCOME_OK:
                         outcomes[index] = UnitOutcome(
                             status=OUTCOME_OK,
@@ -112,14 +128,20 @@ class PoolExecutor(Executor):
                             duration_s=duration,
                             attempts=attempts[index],
                         )
-                    elif attempts[index] <= self.retries:
+                        continue
+                    outcome = outcome_from_exception(value, duration, tb_text)
+                    outcome.classification = self.classify_outcome(outcome)
+                    if outcome.classification != PERMANENT and attempts[index] <= self.retries:
                         self._backoff(attempts[index])
                         queue.append(index)
                     else:
-                        outcome = outcome_from_exception(value, duration, tb_text)
                         outcome.attempts = attempts[index]
                         outcomes[index] = outcome
                         failed = True
+                if broken:
+                    pool, failed = self._recover_broken(
+                        pool, broken, running, queue, attempts, outcomes, failed
+                    )
         finally:
             pool.shutdown(wait=False, cancel_futures=True)
         for index in range(total):
@@ -174,4 +196,60 @@ class PoolExecutor(Executor):
             queue.appendleft(index)
         running.clear()
         running.update(keep)
+        return self._make_pool(self.workers), failed
+
+    def _recover_broken(
+        self,
+        pool: ProcessPoolExecutor,
+        broken: List[Tuple[int, BaseException]],
+        running: Dict[Any, Tuple[int, float]],
+        queue: "deque[int]",
+        attempts: List[int],
+        outcomes: List[Optional[UnitOutcome]],
+        failed: bool,
+    ) -> Tuple[ProcessPoolExecutor, bool]:
+        """Replace a broken pool and settle the wave that died with it.
+
+        Every unit whose future raised ``BrokenProcessPool`` is charged
+        one attempt (the actual crasher cannot be told apart from its
+        wave-mates) and re-queued within its retry budget; still-running
+        futures of the dead pool are re-queued without charge. One
+        backoff covers the whole wave -- per-unit sleeps would stack.
+        """
+        for future, (index, _submitted) in list(running.items()):
+            if not future.done():
+                queue.appendleft(index)
+                continue
+            try:
+                tag, value, _tb, duration = future.result()
+            except Exception as exc:  # noqa: BLE001 - the pool took it down
+                broken.append((index, exc))
+                continue
+            if tag == OUTCOME_OK:
+                # Finished in the race window before the pool broke.
+                attempts[index] += 1
+                outcomes[index] = UnitOutcome(
+                    status=OUTCOME_OK,
+                    result=value,
+                    duration_s=duration,
+                    attempts=attempts[index],
+                )
+            else:
+                broken.append((index, value))
+        running.clear()
+        pool.shutdown(wait=False, cancel_futures=True)
+        backed_off = False
+        for index, exc in broken:
+            attempts[index] += 1
+            if attempts[index] <= self.retries:
+                if not backed_off:
+                    self._backoff(attempts[index])
+                    backed_off = True
+                queue.append(index)
+            else:
+                outcome = outcome_from_exception(exc, 0.0, None)
+                outcome.attempts = attempts[index]
+                outcome.classification = self.classify_outcome(outcome)
+                outcomes[index] = outcome
+                failed = True
         return self._make_pool(self.workers), failed

@@ -17,6 +17,15 @@ Unlike the pool, a timed-out unit here is *actually* killed (the worker
 process is terminated and respawned), so ``timeout_s`` is a hard cap.
 Results are deserialized per unit kind, so callers see the same native
 objects the in-process executors return.
+
+Worker health is tracked per slot (see :mod:`repro.runtime.health`): a
+worker that emits a malformed or truncated protocol line is killed and
+respawned immediately -- one corrupted line must not fail every unit
+subsequently routed to that worker -- and each slot's rolling
+failure/latency window feeds a circuit breaker. An open breaker
+quarantines the slot for ``breaker_cooldown_s`` before the next (re)spawn,
+so a broken worker command degrades into spaced respawn probes instead of
+a tight crash loop.
 """
 
 from __future__ import annotations
@@ -33,6 +42,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 from ...errors import CapstanError
+from ..health import HealthRegistry, WorkerHealth
 from ..jobs import deserialize_result
 from .base import (
     OUTCOME_CANCELLED,
@@ -77,6 +87,14 @@ def _worker_env() -> Dict[str, str]:
 
 class _WorkerDied(CapstanError):
     """The worker process exited (or its pipe closed) mid-conversation."""
+
+
+class _ProtocolError(CapstanError):
+    """The worker corrupted the JSON-lines protocol (malformed line).
+
+    A worker that garbles its protocol channel cannot be trusted with the
+    next unit either -- the caller kills and respawns it.
+    """
 
 
 class _Worker:
@@ -133,8 +151,18 @@ class _Worker:
             try:
                 response = json.loads(raw)
             except ValueError:
-                # Stray output on the protocol channel; skip the line.
-                continue
+                # A corrupted protocol channel means lost responses and
+                # misattributed results; surface it so the caller replaces
+                # the worker (skipping the line would silently poison
+                # every later unit routed here).
+                snippet = raw[:80].decode("utf-8", errors="replace")
+                raise _ProtocolError(
+                    f"worker emitted a malformed protocol line: {snippet!r}"
+                ) from None
+            if not isinstance(response, dict):
+                raise _ProtocolError(
+                    f"worker emitted a non-object protocol line: {raw[:80]!r}"
+                )
             if response.get("id") == request_id:
                 return response
 
@@ -177,7 +205,14 @@ class SubprocessExecutor(Executor):
         workers: Worker process count (one driver thread each).
         command: Worker command prefix; ``worker`` is appended. Defaults
             to :func:`default_worker_command`.
-        (plus the shared ``timeout_s`` / ``retries`` / ``backoff_s``.)
+        breaker_threshold: Consecutive worker-level failures (died, timed
+            out, corrupted protocol) that open a slot's circuit breaker.
+        breaker_cooldown_s: Quarantine before an open slot may respawn a
+            replacement worker. The default 0 replaces immediately; raise
+            it to space out respawns of a persistently-broken command.
+        health_window: Observations kept in each slot's rolling window.
+        (plus the shared ``timeout_s``/``retries``/``backoff_s``/
+        ``jitter``/``seed``.)
     """
 
     name = "subprocess"
@@ -189,12 +224,33 @@ class SubprocessExecutor(Executor):
         timeout_s: Optional[float] = None,
         retries: int = 0,
         backoff_s: float = 0.05,
+        jitter: float = 1.0,
+        seed: Optional[int] = None,
         command: Optional[List[str]] = None,
+        breaker_threshold: int = 3,
+        breaker_cooldown_s: float = 0.0,
+        health_window: int = 16,
     ):
-        super().__init__(workers, timeout_s=timeout_s, retries=retries, backoff_s=backoff_s)
+        super().__init__(
+            workers,
+            timeout_s=timeout_s,
+            retries=retries,
+            backoff_s=backoff_s,
+            jitter=jitter,
+            seed=seed,
+        )
         self.command = list(command) if command is not None else default_worker_command()
+        self.health = HealthRegistry(
+            window=health_window,
+            failure_threshold=breaker_threshold,
+            cooldown_s=breaker_cooldown_s,
+        )
         self._live_workers: List[_Worker] = []
         self._workers_lock = threading.Lock()
+
+    def health_report(self) -> Dict[int, Dict[str, object]]:
+        """Per-slot health snapshots (spawns, replacements, windows)."""
+        return self.health.report()
 
     def cancel(self) -> None:
         """Cancel the run and kill live workers (interrupts blocked reads)."""
@@ -214,8 +270,8 @@ class SubprocessExecutor(Executor):
         state = {"failed": False}
         lock = threading.Lock()
 
-        def drain() -> None:
-            holder: Dict[str, Optional[_Worker]] = {"worker": None}
+        def drain(slot: int) -> None:
+            holder: Dict[str, Any] = {"worker": None, "slot": slot}
             try:
                 while True:
                     with lock:
@@ -238,7 +294,7 @@ class SubprocessExecutor(Executor):
                 self._retire(holder)
 
         threads = [
-            threading.Thread(target=drain, daemon=True, name=f"repro-exec-{i}")
+            threading.Thread(target=drain, args=(i,), daemon=True, name=f"repro-exec-{i}")
             for i in range(min(self.workers, max(1, total)))
         ]
         for thread in threads:
@@ -252,11 +308,15 @@ class SubprocessExecutor(Executor):
 
     # ------------------------------------------------------ worker mgmt
 
-    def _obtain(self, holder: Dict[str, Optional[_Worker]]) -> _Worker:
+    def _slot_health(self, holder: Dict[str, Any]) -> WorkerHealth:
+        return self.health.slot(int(holder.get("slot", 0)))
+
+    def _obtain(self, holder: Dict[str, Any]) -> _Worker:
         worker = holder.get("worker")
         if worker is None or worker.proc.poll() is not None:
             if worker is not None:
                 self._retire(holder)
+            self._slot_health(holder).note_spawn()
             worker = _Worker(self.command)
             holder["worker"] = worker
             with self._workers_lock:
@@ -267,7 +327,7 @@ class SubprocessExecutor(Executor):
             worker.request({"kind": "probe"}, WARMUP_TIMEOUT_S)
         return worker
 
-    def _retire(self, holder: Dict[str, Optional[_Worker]]) -> None:
+    def _retire(self, holder: Dict[str, Any]) -> None:
         worker = holder.get("worker")
         holder["worker"] = None
         if worker is None:
@@ -277,22 +337,41 @@ class SubprocessExecutor(Executor):
                 self._live_workers.remove(worker)
         worker.kill()
 
-    def _attempt(
-        self, holder: Dict[str, Optional[_Worker]], payload: Dict[str, Any]
-    ) -> UnitOutcome:
+    def _attempt(self, holder: Dict[str, Any], payload: Dict[str, Any]) -> UnitOutcome:
+        health = self._slot_health(holder)
+        # An open breaker quarantines the slot: hold (cancellably) until
+        # the cooldown admits the next half-open probe spawn.
+        while not health.breaker.allow():
+            if self.cancelled():
+                return UnitOutcome(status=OUTCOME_CANCELLED)
+            self._cancel_event.wait(0.01)
         start = time.perf_counter()
         try:
             worker = self._obtain(holder)
             response = worker.request(payload, self.timeout_s)
         except TimeoutError:
             self._retire(holder)  # the overrunning unit dies with its worker
+            health.record(False, time.perf_counter() - start)
             return UnitOutcome(
                 status=OUTCOME_TIMEOUT,
                 error=f"unit exceeded {self.timeout_s:g}s timeout",
                 duration_s=time.perf_counter() - start,
             )
+        except _ProtocolError as exc:
+            # Satellite fix: one corrupted line kills (and replaces) the
+            # worker instead of poisoning every unit routed to it next.
+            self._retire(holder)
+            health.record(False, time.perf_counter() - start)
+            if self.cancelled():
+                return UnitOutcome(status=OUTCOME_CANCELLED)
+            return UnitOutcome(
+                status=OUTCOME_ERROR,
+                error=str(exc),
+                duration_s=time.perf_counter() - start,
+            )
         except (_WorkerDied, OSError) as exc:
             self._retire(holder)
+            health.record(False, time.perf_counter() - start)
             if self.cancelled():
                 return UnitOutcome(status=OUTCOME_CANCELLED)
             return UnitOutcome(
@@ -301,6 +380,10 @@ class SubprocessExecutor(Executor):
                 duration_s=time.perf_counter() - start,
             )
         duration = float(response.get("duration_s", time.perf_counter() - start))
+        # Worker health tracks the worker's ability to hold a conversation
+        # (spawn, respond in time, speak JSON) -- a unit-level failure the
+        # worker reported correctly is the unit's problem, not the slot's.
+        health.record(True, duration)
         if response.get("ok"):
             result = deserialize_result(payload["kind"], response.get("result"))
             return UnitOutcome(status=OUTCOME_OK, result=result, duration_s=duration)

@@ -3,7 +3,7 @@
 A *job* is any task grid -- the (application x dataset) profile grid, a
 design-space cross-product, or the table suite -- sharded into
 content-addressed *work units* whose states persist in the SQLite run
-store (:mod:`repro.runtime.runstore`, schema version 2). Each unit is a
+store (:mod:`repro.runtime.runstore`, schema version 3). Each unit is a
 self-contained JSON payload any worker can execute: in process, in a pool
 worker, or in a ``repro-eval worker`` subprocess on another machine (see
 :mod:`repro.runtime.executors`). The lifecycle::
@@ -20,6 +20,17 @@ units to ``pending`` and skips every ``done`` unit, so completed work is
 never re-executed and the outputs (profile-cache entries written by the
 workers) are byte-identical to a single-process run.
 
+Claims are *leases* (schema v3): ``run_job`` claims each wave inside a
+``BEGIN IMMEDIATE`` transaction, stamping ``lease_owner``
+(``hostname:pid:token``) and ``lease_expires_at``, and a heartbeat
+thread refreshes the stamp while the wave executes -- so two concurrent
+``run_job`` processes on one job serialize at the claim and never
+double-run a unit, while a dead claimant's leases are reclaimed on
+resume (same-host pid liveness, or lease expiry for remote owners).
+With ``max_attempts`` set, a unit that exhausts its budget -- or fails
+*permanently* (see :mod:`repro.runtime.health`) -- is dead-lettered
+(state ``dead``) instead of being re-claimed forever.
+
 Unit kinds are pluggable via :func:`register_unit_kind`; the built-in
 kinds are ``profile`` (one registry cell, served from / stored to the
 content-addressed profile cache), ``throughput`` (one SpMU calibration
@@ -35,12 +46,16 @@ import dataclasses
 import hashlib
 import json
 import os
+import socket
+import threading
 import time
+import uuid
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..errors import CapstanError
-from . import registry
+from . import faults, registry
+from .health import PERMANENT
 from .cache import (
     ProfileCache,
     cache_enabled,
@@ -52,11 +67,14 @@ from .registry import RunContext
 from .runstore import RunStore, _utc_now
 from .sweep import axis_value_to_json, parse_axis_value
 
-#: Work-unit states persisted in the ``work_units`` table.
+#: Work-unit states persisted in the ``work_units`` table. ``dead`` is the
+#: dead-letter state: the unit exhausted ``max_attempts`` (or failed
+#: permanently) and is no longer claimable on resume.
 UNIT_PENDING = "pending"
 UNIT_RUNNING = "running"
 UNIT_DONE = "done"
 UNIT_FAILED = "failed"
+UNIT_DEAD = "dead"
 
 #: Job states persisted in the ``jobs`` table.
 JOB_PENDING = "pending"
@@ -68,9 +86,22 @@ JOB_FAILED = "failed"
 #: when no memory budget imposes a smaller chunk).
 DEFAULT_DSE_CHUNK = 64
 
+#: Default lease length for claimed units. A claimant heartbeats at a
+#: third of this, so only a process dead (or frozen) for the full lease
+#: loses its claim to another claimant.
+DEFAULT_LEASE_S = 60.0
+
 
 class JobError(CapstanError):
     """Raised for malformed job specs, unknown kinds, or missing jobs."""
+
+
+class UnitSpecError(JobError):
+    """A work unit that can never execute: unknown kind, malformed payload.
+
+    Classified *permanent* by :func:`repro.runtime.health.classify_error`,
+    so executors surface it immediately instead of burning retries.
+    """
 
 
 # --------------------------------------------------------------- contexts
@@ -100,7 +131,7 @@ def context_from_dict(data: Optional[Dict[str, Any]]) -> RunContext:
     known = {f.name for f in dataclasses.fields(RunContext)}
     unknown = set(data) - known
     if unknown:
-        raise JobError(f"unknown RunContext fields in payload: {sorted(unknown)}")
+        raise UnitSpecError(f"unknown RunContext fields in payload: {sorted(unknown)}")
     return RunContext(scanner=scanner, **data)
 
 
@@ -144,22 +175,28 @@ def register_unit_kind(
 
 
 def unit_kind(name: str) -> UnitKind:
-    """Look up one registered kind (raises :class:`JobError`)."""
+    """Look up one registered kind (raises :class:`UnitSpecError`)."""
     try:
         return _KINDS[name]
     except KeyError:
         known = ", ".join(sorted(_KINDS)) or "<none>"
-        raise JobError(f"unknown work-unit kind {name!r}; registered: {known}") from None
+        raise UnitSpecError(
+            f"unknown work-unit kind {name!r}; registered: {known}"
+        ) from None
 
 
 def execute_unit(payload: Dict[str, Any]) -> Any:
     """Execute one work-unit payload and return its (native) result.
 
     This is the single entry point every executor drives -- in process,
-    from a pool worker, or behind ``repro-eval worker``.
+    from a pool worker, or behind ``repro-eval worker`` -- which also
+    makes it the seam where an active fault plan (see
+    :mod:`repro.runtime.faults`) injects unit-level faults into every
+    backend identically.
     """
     if not isinstance(payload, dict) or "kind" not in payload:
-        raise JobError(f"work-unit payload needs a 'kind' field, got {payload!r}")
+        raise UnitSpecError(f"work-unit payload needs a 'kind' field, got {payload!r}")
+    faults.inject_unit_fault(payload)
     return unit_kind(payload["kind"]).execute(payload)
 
 
@@ -275,7 +312,9 @@ def _execute_table(payload: Dict[str, Any]) -> Any:
     functions = _table_functions()
     name = payload["table"]
     if name not in functions:
-        raise JobError(f"unknown table {name!r}; known: {', '.join(sorted(functions))}")
+        raise UnitSpecError(
+            f"unknown table {name!r}; known: {', '.join(sorted(functions))}"
+        )
     fn = functions[name]
     kwargs: Dict[str, Any] = {}
     if "profiles" in inspect.signature(fn).parameters and payload.get("scale") is not None:
@@ -539,6 +578,8 @@ class UnitRecord:
     duration_s: Optional[float]
     error: Optional[str]
     result_json: Optional[str]
+    lease_owner: Optional[str] = None
+    lease_expires_at: Optional[float] = None
 
     def result(self) -> Any:
         """The deserialized unit result (``None`` unless done)."""
@@ -560,9 +601,91 @@ class JobRunSummary:
     remaining: int
     counts: Dict[str, int]
     wall_time_s: float
+    dead: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
+
+
+def default_claim_owner() -> str:
+    """A lease-owner id for this process: ``hostname:pid:token``.
+
+    The host and pid let a resuming process on the same machine detect
+    that an owner died (pid no longer alive) without waiting out the
+    lease; the random token distinguishes successive runs in one pid.
+    """
+    return f"{socket.gethostname()}:{os.getpid()}:{uuid.uuid4().hex[:8]}"
+
+
+def _owner_alive(owner: str) -> Optional[bool]:
+    """Whether the lease owner's process is alive; ``None`` if unknowable.
+
+    Only decidable for owners on this host; remote owners return ``None``
+    and their leases are trusted until expiry.
+    """
+    host, _, rest = owner.partition(":")
+    pid_text = rest.partition(":")[0]
+    if host != socket.gethostname() or not pid_text.isdigit():
+        return None
+    try:
+        os.kill(int(pid_text), 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):
+        return True
+    return True
+
+
+class _LeaseHeartbeat(threading.Thread):
+    """Daemon refreshing the current wave's leases while units execute.
+
+    Runs on its own connection (SQLite connections are not thread-safe)
+    against the same database file; refresh failures (e.g. a busy writer)
+    are skipped -- the next beat retries, and a missed lease merely makes
+    the unit reclaimable a little sooner.
+    """
+
+    def __init__(self, path: Path, job_id: int, owner: str, lease_s: float):
+        super().__init__(daemon=True, name="repro-lease-heartbeat")
+        self._path = path
+        self._job_id = job_id
+        self._owner = owner
+        self._lease_s = lease_s
+        self._interval = max(0.05, lease_s / 3.0)
+        self._seqs: List[int] = []
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+
+    def watch(self, seqs: List[int]) -> None:
+        with self._lock:
+            self._seqs = list(seqs)
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    def run(self) -> None:
+        store = RunStore(self._path)
+        try:
+            while not self._stop.wait(self._interval):
+                with self._lock:
+                    seqs = list(self._seqs)
+                if not seqs:
+                    continue
+                expires = time.time() + self._lease_s
+                try:
+                    with store.connection:
+                        store.connection.executemany(
+                            "UPDATE work_units SET lease_expires_at=?"
+                            " WHERE job_id=? AND seq=? AND lease_owner=? AND state=?",
+                            [
+                                (expires, self._job_id, seq, self._owner, UNIT_RUNNING)
+                                for seq in seqs
+                            ],
+                        )
+                except Exception:  # noqa: BLE001 - next beat retries
+                    continue
+        finally:
+            store.close()
 
 
 class JobStore:
@@ -632,18 +755,83 @@ class JobStore:
         return job
 
     def reset_stale_running(self, job_id: int) -> int:
-        """Reset ``running`` units to ``pending`` (recovery after a kill).
+        """Reset *stale* ``running`` units to ``pending`` (kill recovery).
 
-        A unit can only be legitimately ``running`` while some process is
-        inside :meth:`run_job`; rows still marked ``running`` at the start
-        of a new run are orphans of a dead sweep.
+        A ``running`` unit is stale -- an orphan of a dead sweep -- when it
+        has no lease (pre-lease rows, or a claimant that died inside the
+        claim transaction), its lease has expired, or its owner is a
+        process on this host that no longer exists (so a SIGKILLed sweep
+        is reclaimable immediately, without waiting out the lease).
+        Units validly leased by a *live* concurrent claimant are left
+        alone -- that is what makes two concurrent ``run_job`` calls safe.
         """
-        with self._connection:
-            cursor = self._connection.execute(
-                "UPDATE work_units SET state=? WHERE job_id=? AND state=?",
-                (UNIT_PENDING, job_id, UNIT_RUNNING),
+        now = time.time()
+        rows = self._connection.execute(
+            "SELECT seq, lease_owner, lease_expires_at FROM work_units"
+            " WHERE job_id=? AND state=?",
+            (job_id, UNIT_RUNNING),
+        ).fetchall()
+        stale: List[int] = []
+        for row in rows:
+            owner = row["lease_owner"]
+            expires = row["lease_expires_at"]
+            if owner is None or expires is None or expires < now:
+                stale.append(row["seq"])
+            elif _owner_alive(owner) is False:
+                stale.append(row["seq"])
+        if stale:
+            with self._connection:
+                self._connection.executemany(
+                    "UPDATE work_units SET state=?, lease_owner=NULL,"
+                    " lease_expires_at=NULL WHERE job_id=? AND seq=? AND state=?",
+                    [(UNIT_PENDING, job_id, seq, UNIT_RUNNING) for seq in stale],
+                )
+        return len(stale)
+
+    def claim_units(
+        self,
+        job_id: int,
+        seqs: Sequence[int],
+        *,
+        owner: str,
+        lease_s: float = DEFAULT_LEASE_S,
+    ) -> List[UnitRecord]:
+        """Atomically claim the subset of ``seqs`` still claimable.
+
+        The select-and-mark runs inside one ``BEGIN IMMEDIATE``
+        transaction, so two concurrent claimants racing on the same job
+        serialize at the database and can never claim (hence double-run)
+        the same unit -- a candidate another claimant already holds or
+        finished simply drops out of the returned wave.
+        """
+        if not seqs:
+            return []
+        expires = time.time() + lease_s
+        placeholders = ",".join("?" for _ in seqs)
+        self._connection.commit()  # close any open implicit transaction
+        self._connection.execute("BEGIN IMMEDIATE")
+        try:
+            rows = self._connection.execute(
+                f"SELECT * FROM work_units WHERE job_id=? AND state IN (?,?)"
+                f" AND seq IN ({placeholders}) ORDER BY seq",
+                (job_id, UNIT_PENDING, UNIT_FAILED, *seqs),
+            ).fetchall()
+            units = [self._unit_from_row(row) for row in rows]
+            self._connection.executemany(
+                "UPDATE work_units SET state=?, lease_owner=?, lease_expires_at=?"
+                " WHERE job_id=? AND seq=?",
+                [(UNIT_RUNNING, owner, expires, job_id, unit.seq) for unit in units],
             )
-        return cursor.rowcount
+            self._connection.execute("COMMIT")
+        except BaseException:
+            self._connection.execute("ROLLBACK")
+            raise
+        return [
+            dataclasses.replace(
+                unit, state=UNIT_RUNNING, lease_owner=owner, lease_expires_at=expires
+            )
+            for unit in units
+        ]
 
     def run_job(
         self,
@@ -652,6 +840,9 @@ class JobStore:
         *,
         max_units: Optional[int] = None,
         stop_on_error: bool = False,
+        max_attempts: Optional[int] = None,
+        lease_s: float = DEFAULT_LEASE_S,
+        owner: Optional[str] = None,
     ) -> JobRunSummary:
         """Execute the job's claimable units (pending or failed) in order.
 
@@ -664,49 +855,72 @@ class JobStore:
             stop_on_error: Forwarded to the executor: cancel outstanding
                 units after the first failure instead of finishing the
                 batch.
+            max_attempts: Dead-letter ceiling: a unit whose *cumulative*
+                attempts reach this (or whose failure is classified
+                permanent) moves to ``dead`` instead of ``failed`` and is
+                never re-claimed on resume. ``None`` (default) keeps the
+                retry-forever-on-resume behavior.
+            lease_s: Lease length for claimed units; a heartbeat refreshes
+                it at a third of this while the wave executes.
+            owner: Lease-owner id; defaults to
+                :func:`default_claim_owner` for this process.
 
         Returns:
             A :class:`JobRunSummary`; ``remaining`` counts units still
             claimable afterwards (a resumed call picks exactly those up).
 
-        Units are dispatched in waves of ``executor.workers`` and every
-        wave's outcomes are committed before the next one starts, so a
-        killed run can only ever lose in-flight work -- completed units are
-        durable and are never re-executed on resume.
+        Units are claimed one wave (of ``executor.workers``) at a time
+        inside a ``BEGIN IMMEDIATE`` transaction, executed, and committed
+        before the next wave is claimed -- so a killed run can only ever
+        lose in-flight work, and two concurrent ``run_job`` processes on
+        the same job interleave wave-by-wave without ever double-running
+        a unit.
         """
         started = time.perf_counter()
         job = self.job(job_id)
         if job is None:
             raise JobError(f"no job {job_id} in {self.path}")
+        owner = owner or default_claim_owner()
         self.reset_stale_running(job_id)
-        claimable = self.claimable_units(job_id)
-        selected = claimable if max_units is None else claimable[: max(0, max_units)]
-        completed = failed = cancelled = 0
+        with self._connection:
+            self._connection.execute(
+                "UPDATE jobs SET state=?, executor=?, workers=?, updated_at=?"
+                " WHERE id=?",
+                (
+                    JOB_RUNNING,
+                    getattr(executor, "name", type(executor).__name__),
+                    getattr(executor, "workers", None),
+                    _utc_now(),
+                    job_id,
+                ),
+            )
+        wave_size = max(1, int(getattr(executor, "workers", 1) or 1))
+        completed = failed = cancelled = dead = 0
         processed = 0
-        if selected:
-            with self._connection:
-                self._connection.executemany(
-                    "UPDATE work_units SET state=? WHERE job_id=? AND seq=?",
-                    [(UNIT_RUNNING, job_id, unit.seq) for unit in selected],
-                )
-                self._connection.execute(
-                    "UPDATE jobs SET state=?, executor=?, workers=?, updated_at=?"
-                    " WHERE id=?",
-                    (
-                        JOB_RUNNING,
-                        getattr(executor, "name", type(executor).__name__),
-                        getattr(executor, "workers", None),
-                        _utc_now(),
-                        job_id,
-                    ),
-                )
-            wave_size = max(1, int(getattr(executor, "workers", 1) or 1))
+        # Snapshot the claimable set once: a unit that fails during *this*
+        # call is retried on the next run_job, not re-claimed immediately
+        # (its executor-level retries already ran), and concurrent
+        # claimants working the same snapshot simply see stolen candidates
+        # drop out of their waves at claim time.
+        candidates = [unit.seq for unit in self.claimable_units(job_id)]
+        heartbeat = _LeaseHeartbeat(self.path, job_id, owner, lease_s)
+        heartbeat.start()
+        try:
             halt = False
-            while processed < len(selected) and not halt:
-                wave = selected[processed : processed + wave_size]
+            while not halt and candidates:
+                budget = None if max_units is None else max(0, max_units - processed)
+                if budget == 0:
+                    break
+                limit = wave_size if budget is None else min(wave_size, budget)
+                batch, candidates = candidates[:limit], candidates[limit:]
+                wave = self.claim_units(job_id, batch, owner=owner, lease_s=lease_s)
+                if not wave:
+                    continue
+                heartbeat.watch([unit.seq for unit in wave])
                 outcomes = executor.run_units(
                     [unit.payload for unit in wave], stop_on_error=stop_on_error
                 )
+                heartbeat.watch([])
                 with self._connection:
                     for unit, outcome in zip(wave, outcomes):
                         if outcome.status == "ok":
@@ -720,14 +934,30 @@ class JobStore:
                             cancelled += 1
                             state, error, result_json = UNIT_PENDING, None, None
                         else:
-                            failed += 1
-                            state = UNIT_FAILED
                             error = outcome.error or outcome.status
                             result_json = None
+                            permanent = (
+                                getattr(outcome, "classification", None) == PERMANENT
+                            )
+                            exhausted = (
+                                max_attempts is not None
+                                and unit.attempts + outcome.attempts >= max_attempts
+                            )
+                            if max_attempts is not None and (permanent or exhausted):
+                                dead += 1
+                                state = UNIT_DEAD
+                            else:
+                                failed += 1
+                                state = UNIT_FAILED
+                        # The lease-owner guard makes the commit idempotent
+                        # against theft: if this lease expired mid-wave and
+                        # another claimant took the unit, its row is theirs
+                        # now and this outcome is dropped.
                         self._connection.execute(
                             "UPDATE work_units SET state=?, attempts=attempts+?,"
-                            " duration_s=?, error=?, result_json=?"
-                            " WHERE job_id=? AND seq=?",
+                            " duration_s=?, error=?, result_json=?,"
+                            " lease_owner=NULL, lease_expires_at=NULL"
+                            " WHERE job_id=? AND seq=? AND state=? AND lease_owner=?",
                             (
                                 state,
                                 outcome.attempts,
@@ -736,28 +966,35 @@ class JobStore:
                                 result_json,
                                 job_id,
                                 unit.seq,
+                                UNIT_RUNNING,
+                                owner,
                             ),
                         )
                 processed += len(wave)
                 if any(outcome.status == "cancelled" for outcome in outcomes):
                     halt = True  # executor was cancelled; leave the rest pending
+                elif getattr(executor, "cancelled", lambda: False)():
+                    # A cancel that landed after the wave's last check
+                    # produced no cancelled outcome, and the next wave's
+                    # _begin_run would silently erase it -- honor it here.
+                    halt = True
                 if stop_on_error and any(
                     outcome.status not in ("ok", "cancelled") for outcome in outcomes
                 ):
                     halt = True
-            leftover = selected[processed:]
-            if leftover:
-                cancelled += len(leftover)
-                with self._connection:
-                    self._connection.executemany(
-                        "UPDATE work_units SET state=? WHERE job_id=? AND seq=?",
-                        [(UNIT_PENDING, job_id, unit.seq) for unit in leftover],
-                    )
+        finally:
+            heartbeat.stop()
         counts = self.unit_states(job_id)
         remaining = counts.get(UNIT_PENDING, 0) + counts.get(UNIT_FAILED, 0)
-        if counts.get(UNIT_DONE, 0) == sum(counts.values()):
+        if counts.get(UNIT_RUNNING, 0):
+            # Another live claimant still holds leases; the job is theirs
+            # to finish.
+            state = JOB_RUNNING
+        elif counts.get(UNIT_DONE, 0) == sum(counts.values()):
             state = JOB_DONE
-        elif counts.get(UNIT_FAILED, 0) and not counts.get(UNIT_PENDING, 0):
+        elif (
+            counts.get(UNIT_FAILED, 0) or counts.get(UNIT_DEAD, 0)
+        ) and not counts.get(UNIT_PENDING, 0):
             state = JOB_FAILED
         else:
             state = JOB_PENDING
@@ -776,6 +1013,7 @@ class JobStore:
             remaining=remaining,
             counts=counts,
             wall_time_s=time.perf_counter() - started,
+            dead=dead,
         )
 
     # ------------------------------------------------------------- reads
@@ -806,6 +1044,8 @@ class JobStore:
             duration_s=row["duration_s"],
             error=row["error"],
             result_json=row["result_json"],
+            lease_owner=row["lease_owner"],
+            lease_expires_at=row["lease_expires_at"],
         )
 
     def job(self, job_id: int) -> Optional[JobRecord]:
@@ -842,7 +1082,11 @@ class JobStore:
         return [self._unit_from_row(row) for row in rows]
 
     def claimable_units(self, job_id: int) -> List[UnitRecord]:
-        """Units still needing execution: pending, plus failed (retried)."""
+        """Units still needing execution: pending, plus failed (retried).
+
+        Dead-lettered units are *not* claimable; they stay visible via
+        :meth:`units` / :meth:`unit_states` until operator intervention.
+        """
         rows = self._connection.execute(
             "SELECT * FROM work_units WHERE job_id=? AND state IN (?,?) ORDER BY seq",
             (job_id, UNIT_PENDING, UNIT_FAILED),

@@ -44,6 +44,9 @@ class TaskResult:
             where its (small) time actually goes.
         profile: The collected profile (``None`` on error).
         error: One-line error description (``None`` unless failed).
+        classification: For failures, ``"transient"`` or ``"permanent"``
+            (:mod:`repro.runtime.health`) -- callers deciding whether a
+            retry is worthwhile read this instead of re-parsing ``error``.
     """
 
     app: str
@@ -52,6 +55,7 @@ class TaskResult:
     duration_s: float = 0.0
     profile: Optional[WorkloadProfile] = None
     error: Optional[str] = None
+    classification: Optional[str] = None
 
 
 @dataclass
@@ -279,6 +283,7 @@ class ExperimentRunner:
                 status=STATUS_ERROR,
                 duration_s=outcome.duration_s,
                 error=error,
+                classification=outcome.classification,
             )
             return
         profile = outcome.result

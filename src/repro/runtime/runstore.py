@@ -40,8 +40,15 @@ from .cache import code_fingerprint
 
 #: Bump when schema.sql changes incompatibly; mirrored into user_version.
 #: Version 2 added the job layer (``jobs`` / ``work_units``) additively, so
-#: version-1 databases upgrade in place on first open.
-SCHEMA_VERSION = 2
+#: version-1 databases upgrade in place on first open. Version 3 adds the
+#: lease columns (``lease_owner`` / ``lease_expires_at``) to ``work_units``;
+#: v2 databases gain them via ALTER TABLE on first open.
+SCHEMA_VERSION = 3
+
+#: How long a writer waits on a locked database before erroring. Claim
+#: transactions from concurrent ``run_job`` processes serialize on the
+#: write lock; five seconds comfortably covers a claim + wave commit.
+BUSY_TIMEOUT_MS = 5000
 
 #: Environment override for the database location.
 ENV_RUN_DB = "REPRO_RUN_DB"
@@ -153,6 +160,7 @@ class RunStore:
         self._connection.row_factory = sqlite3.Row
         self._connection.execute("PRAGMA journal_mode=WAL")
         self._connection.execute("PRAGMA foreign_keys=ON")
+        self._connection.execute(f"PRAGMA busy_timeout={BUSY_TIMEOUT_MS}")
         self._apply_schema()
 
     def _apply_schema(self) -> None:
@@ -165,6 +173,21 @@ class RunStore:
         schema = (Path(__file__).resolve().parent / "schema.sql").read_text()
         with self._connection:
             self._connection.executescript(schema)
+            if 0 < version < 3:
+                # v2 -> v3: the lease columns. executescript above only
+                # creates missing tables; existing work_units rows need
+                # the explicit ALTERs (idempotent via the version gate).
+                for column, kind in (
+                    ("lease_owner", "TEXT"),
+                    ("lease_expires_at", "REAL"),
+                ):
+                    try:
+                        self._connection.execute(
+                            f"ALTER TABLE work_units ADD COLUMN {column} {kind}"
+                        )
+                    except sqlite3.OperationalError as exc:
+                        if "duplicate column" not in str(exc).lower():
+                            raise
             self._connection.execute(f"PRAGMA user_version={SCHEMA_VERSION}")
 
     @property

@@ -1,4 +1,4 @@
--- Experiment run store schema, version 2.
+-- Experiment run store schema, version 3.
 --
 -- One row per bench run in `runs` (the full record is kept verbatim in
 -- `record_json`); each record section -- the implicit top-level "runner"
@@ -12,9 +12,18 @@
 -- (content-addressed by spec key, so re-submitting the same grid resumes
 -- the existing job instead of duplicating it) and `work_units` holds its
 -- shards -- one content-addressed unit per row with its state machine
--- (pending/running/done/failed), attempt count, and result. A killed
--- sweep resumes by resetting stale `running` rows to `pending`; `done`
--- rows are never re-executed.
+-- (pending/running/done/failed/dead), attempt count, and result. A
+-- killed sweep resumes by resetting stale `running` rows to `pending`;
+-- `done` rows are never re-executed.
+--
+-- Version 3 makes claims lease-based: a claimant stamps `lease_owner`
+-- (hostname:pid:token) and `lease_expires_at` (unix seconds, heartbeat-
+-- refreshed) on the `running` rows it holds, so concurrent run_job
+-- processes cannot double-claim a unit and only *stale* leases (expired,
+-- or a dead same-host pid) are reclaimed on resume. `dead` is the
+-- dead-letter state for units that exhausted max_attempts or failed
+-- permanently; they are not claimable. Existing v2 databases gain the
+-- two columns via ALTER TABLE in RunStore._apply_schema.
 --
 -- The version lives in `PRAGMA user_version`, written by RunStore when it
 -- applies this file; bump RunStore.SCHEMA_VERSION on incompatible change.
@@ -77,16 +86,18 @@ CREATE TABLE IF NOT EXISTS jobs (
 );
 
 CREATE TABLE IF NOT EXISTS work_units (
-    job_id       INTEGER NOT NULL REFERENCES jobs (id) ON DELETE CASCADE,
-    seq          INTEGER NOT NULL,
-    key          TEXT NOT NULL,
-    kind         TEXT NOT NULL,
-    payload_json TEXT NOT NULL,
-    state        TEXT NOT NULL DEFAULT 'pending',
-    attempts     INTEGER NOT NULL DEFAULT 0,
-    duration_s   REAL,
-    error        TEXT,
-    result_json  TEXT,
+    job_id           INTEGER NOT NULL REFERENCES jobs (id) ON DELETE CASCADE,
+    seq              INTEGER NOT NULL,
+    key              TEXT NOT NULL,
+    kind             TEXT NOT NULL,
+    payload_json     TEXT NOT NULL,
+    state            TEXT NOT NULL DEFAULT 'pending',
+    attempts         INTEGER NOT NULL DEFAULT 0,
+    duration_s       REAL,
+    error            TEXT,
+    result_json      TEXT,
+    lease_owner      TEXT,
+    lease_expires_at REAL,
     PRIMARY KEY (job_id, seq)
 );
 

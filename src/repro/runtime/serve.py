@@ -12,6 +12,10 @@ process.
 Endpoints (all JSON):
 
 * ``GET /health`` -- liveness and store locations.
+* ``GET /healthz`` -- readiness: uptime, request counters, and whether
+  the run/job store is usable (``degraded`` when it is not; store-backed
+  routes answer ``503`` in that state while warm cache reads keep
+  working).
 * ``GET /profile?app=bfs&dataset=wikipedia&scale=1/64`` -- ``200`` with
   the cached profile on a warm key; ``202`` with an enqueued job id on a
   cold one (``enqueue=0`` turns that into a plain ``404`` miss).
@@ -24,7 +28,12 @@ Endpoints (all JSON):
 
 The protocol subset is deliberately tiny (request line + headers + JSON
 bodies, one request per connection) so the whole layer stays dependency-
-free and trivially testable.
+free and trivially testable. It is hardened against the failure modes a
+shared endpoint actually sees: slow/stuck clients are cut off by a
+per-request timeout (``408``), oversized bodies are refused (``413``),
+an unusable run store degrades store-backed routes to ``503`` instead of
+crashing the process, and shutdown drains in-flight requests before
+closing.
 """
 
 from __future__ import annotations
@@ -32,10 +41,12 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import sqlite3
 import sys
 import threading
+import time
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from ..config import SpMUConfig
@@ -57,7 +68,7 @@ from .jobs import (
     context_to_dict,
 )
 from .registry import RunContext
-from .runstore import RunStore, default_run_db
+from .runstore import RunStore, RunStoreError, default_run_db
 
 _STATUS_PHRASES = {
     200: "OK",
@@ -66,12 +77,29 @@ _STATUS_PHRASES = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
+
+#: Default per-request wall-clock budget (read + dispatch + write).
+DEFAULT_REQUEST_TIMEOUT_S = 30.0
+
+#: Default request-body cap; every legitimate body here is a small JSON
+#: job spec, so 1 MiB is already generous.
+DEFAULT_MAX_BODY_BYTES = 1 << 20
+
+#: How long shutdown waits for in-flight requests before cancelling them.
+DEFAULT_DRAIN_TIMEOUT_S = 5.0
 
 
 class _BadRequest(CapstanError):
     """Client error -> HTTP 400."""
+
+
+class _StoreUnavailable(CapstanError):
+    """The run/job store cannot serve this route -> HTTP 503."""
 
 
 def _parse_scale_text(text: str) -> float:
@@ -116,16 +144,45 @@ class CacheServer:
         *,
         db: Optional[Path] = None,
         cache_root: Optional[Path] = None,
+        request_timeout_s: float = DEFAULT_REQUEST_TIMEOUT_S,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
     ):
         self.profile_cache = (
             ProfileCache(root=Path(cache_root)) if cache_root else ProfileCache()
         )
         self.throughput_store = ThroughputStore()
-        self.run_store = RunStore(db)
-        self.jobs = JobStore(store=self.run_store)
+        self.request_timeout_s = float(request_timeout_s)
+        self.max_body_bytes = int(max_body_bytes)
+        self.started_at = time.monotonic()
+        self.requests_total = 0
+        self.inflight = 0
+        #: Live ``serve_client`` tasks; shutdown drains these.
+        self.client_tasks: Set["asyncio.Task[None]"] = set()
+        # An unusable store (corrupt file, newer schema) degrades the
+        # store-backed routes to 503 instead of killing the server: warm
+        # cache reads are most of the traffic and need none of it.
+        self.run_store: Optional[RunStore] = None
+        self.jobs: Optional[JobStore] = None
+        self.store_error: Optional[str] = None
+        try:
+            self.run_store = RunStore(db)
+            self.jobs = JobStore(store=self.run_store)
+        except (RunStoreError, sqlite3.Error, OSError) as exc:
+            self.store_error = f"{type(exc).__name__}: {exc}"
 
     def close(self) -> None:
-        self.run_store.close()
+        if self.run_store is not None:
+            self.run_store.close()
+
+    def _job_store(self) -> JobStore:
+        if self.jobs is None:
+            raise _StoreUnavailable(f"run/job store unavailable: {self.store_error}")
+        return self.jobs
+
+    def _run_store(self) -> RunStore:
+        if self.run_store is None:
+            raise _StoreUnavailable(f"run/job store unavailable: {self.store_error}")
+        return self.run_store
 
     # ------------------------------------------------------------ routes
 
@@ -133,13 +190,16 @@ class CacheServer:
         self, method: str, path: str, query: Dict[str, str], body: bytes
     ) -> Tuple[int, Dict[str, Any]]:
         """Dispatch one request; returns ``(status, payload)``."""
+        self.requests_total += 1
         try:
             if path == "/health" and method == "GET":
                 return 200, {
                     "status": "ok",
                     "profile_cache": str(self.profile_cache.root),
-                    "db": str(self.run_store.path),
+                    "db": str(self.run_store.path) if self.run_store else None,
                 }
+            if path == "/healthz" and method == "GET":
+                return self._healthz()
             if path == "/profile" and method == "GET":
                 return self._profile(query)
             if path == "/throughput" and method == "GET":
@@ -152,15 +212,48 @@ class CacheServer:
                 return self._submit(body)
             if path.startswith("/jobs/") and method == "GET":
                 return self._job(path[len("/jobs/") :])
-            if path in ("/health", "/profile", "/throughput", "/runs", "/jobs"):
+            if path in ("/health", "/healthz", "/profile", "/throughput", "/runs", "/jobs"):
                 return 405, {"error": f"method {method} not allowed on {path}"}
             return 404, {"error": f"no route {path}"}
+        except _StoreUnavailable as exc:
+            return 503, {"error": str(exc), "status": "degraded"}
+        except sqlite3.Error as exc:
+            # The store broke *after* open (disk full, file clobbered);
+            # answer degraded instead of 500-ing on route internals.
+            return 503, {
+                "error": f"run/job store error: {type(exc).__name__}: {exc}",
+                "status": "degraded",
+            }
         except _BadRequest as exc:
             return 400, {"error": str(exc)}
         except (CapstanError, registry.RegistryError) as exc:
             return 400, {"error": str(exc)}
         except Exception as exc:  # noqa: BLE001 - server must answer
             return 500, {"error": f"{type(exc).__name__}: {exc}"}
+
+    def _healthz(self) -> Tuple[int, Dict[str, Any]]:
+        """Readiness: degraded (but alive) when the store is unusable."""
+        degraded = self.jobs is None
+        payload: Dict[str, Any] = {
+            "status": "degraded" if degraded else "ok",
+            "uptime_s": round(time.monotonic() - self.started_at, 3),
+            "requests_total": self.requests_total,
+            "inflight": self.inflight,
+            "profile_cache": str(self.profile_cache.root),
+        }
+        if degraded:
+            payload["store_error"] = self.store_error
+        else:
+            # One cheap store probe so /healthz notices a store that
+            # broke after open, not just one that failed to open.
+            assert self.run_store is not None
+            try:
+                self.run_store.connection.execute("SELECT 1").fetchone()
+                payload["db"] = str(self.run_store.path)
+            except sqlite3.Error as exc:
+                payload["status"] = "degraded"
+                payload["store_error"] = f"{type(exc).__name__}: {exc}"
+        return 200, payload
 
     def _profile(self, query: Dict[str, str]) -> Tuple[int, Dict[str, Any]]:
         app = query.get("app")
@@ -194,7 +287,9 @@ class CacheServer:
                 "cache_root": str(self.profile_cache.root),
             },
         )
-        job = self.jobs.submit(JobSpec(name=f"serve:profile:{app}/{dataset}", units=(unit,)))
+        job = self._job_store().submit(
+            JobSpec(name=f"serve:profile:{app}/{dataset}", units=(unit,))
+        )
         return 202, {"status": "enqueued", "key": key, "job": job.id, "job_state": job.state}
 
     def _throughput(self, query: Dict[str, str]) -> Tuple[int, Dict[str, Any]]:
@@ -232,7 +327,9 @@ class CacheServer:
             "config": overrides,
         }
         unit = WorkUnit(key=key, kind="throughput", payload=payload)
-        job = self.jobs.submit(JobSpec(name=f"serve:throughput:{key[:12]}", units=(unit,)))
+        job = self._job_store().submit(
+            JobSpec(name=f"serve:throughput:{key[:12]}", units=(unit,))
+        )
         return 202, {"status": "enqueued", "key": key, "job": job.id, "job_state": job.state}
 
     def _runs(self, query: Dict[str, str]) -> Tuple[int, Dict[str, Any]]:
@@ -240,7 +337,7 @@ class CacheServer:
             limit = int(query.get("limit", 10))
         except ValueError as exc:
             raise _BadRequest(f"bad limit: {exc}") from None
-        runs = self.run_store.runs(limit=limit)
+        runs = self._run_store().runs(limit=limit)
         return 200, {
             "runs": [
                 {
@@ -257,10 +354,11 @@ class CacheServer:
         }
 
     def _jobs(self) -> Tuple[int, Dict[str, Any]]:
+        store = self._job_store()
         jobs = []
-        for job in self.jobs.jobs(limit=50):
+        for job in store.jobs(limit=50):
             entry = job.to_dict()
-            entry["units"] = self.jobs.unit_states(job.id)
+            entry["units"] = store.unit_states(job.id)
             jobs.append(entry)
         return 200, {"jobs": jobs}
 
@@ -269,14 +367,24 @@ class CacheServer:
             job_id = int(raw_id)
         except ValueError:
             raise _BadRequest(f"bad job id {raw_id!r}") from None
-        job = self.jobs.job(job_id)
+        store = self._job_store()
+        job = store.job(job_id)
         if job is None:
             return 404, {"error": f"no job {job_id}"}
         payload = job.to_dict()
-        payload["units"] = self.jobs.unit_states(job_id)
+        payload["units"] = store.unit_states(job_id)
         payload["failed_units"] = [
             {"seq": unit.seq, "kind": unit.kind, "error": unit.error}
-            for unit in self.jobs.units(job_id, state="failed")
+            for unit in store.units(job_id, state="failed")
+        ]
+        payload["dead_units"] = [
+            {
+                "seq": unit.seq,
+                "kind": unit.kind,
+                "attempts": unit.attempts,
+                "error": unit.error,
+            }
+            for unit in store.units(job_id, state="dead")
         ]
         return 200, payload
 
@@ -303,61 +411,131 @@ class CacheServer:
             raise _BadRequest(
                 f"unknown job type {kind!r}; known: profile_grid, dse_grid, table_suite"
             )
-        existing = self.jobs.job_by_key(spec.key)
-        job = self.jobs.submit(spec)
+        store = self._job_store()
+        existing = store.job_by_key(spec.key)
+        job = store.submit(spec)
         status = 200 if existing is not None else 201
         payload = job.to_dict()
-        payload["units"] = self.jobs.unit_states(job.id)
+        payload["units"] = store.unit_states(job.id)
         payload["resumed"] = existing is not None
         return status, payload
 
     # -------------------------------------------------------- HTTP layer
 
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, int]]:
+        """Read the request line + headers; returns (method, target, length)."""
+        request_line = await reader.readline()
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            return None
+        method, target = parts[0], parts[1]
+        content_length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    content_length = 0
+        return method, target, content_length
+
+    @staticmethod
+    async def _respond(
+        writer: asyncio.StreamWriter, status: int, payload: Dict[str, Any]
+    ) -> None:
+        data = json.dumps(payload, default=_json_default).encode()
+        phrase = _STATUS_PHRASES.get(status, "OK")
+        head = (
+            f"HTTP/1.1 {status} {phrase}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(data)}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + data)
+        await writer.drain()
+
     async def serve_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        """One request per connection; minimal HTTP/1.1, JSON responses."""
+        """One request per connection; minimal HTTP/1.1, JSON responses.
+
+        The whole exchange runs under ``request_timeout_s`` so a stuck or
+        malicious client cannot pin a connection open forever, and bodies
+        beyond ``max_body_bytes`` are refused without being read.
+        """
+        task = asyncio.current_task()
+        if task is not None:
+            self.client_tasks.add(task)
+        self.inflight += 1
         try:
-            request_line = await reader.readline()
-            parts = request_line.decode("latin-1").split()
-            if len(parts) < 2:
+            try:
+                head = await asyncio.wait_for(
+                    self._read_request(reader), self.request_timeout_s
+                )
+            except asyncio.TimeoutError:
+                await self._respond(writer, 408, {"error": "request read timed out"})
                 return
-            method, target = parts[0], parts[1]
-            content_length = 0
-            while True:
-                line = await reader.readline()
-                if line in (b"\r\n", b"\n", b""):
-                    break
-                name, _, value = line.decode("latin-1").partition(":")
-                if name.strip().lower() == "content-length":
-                    try:
-                        content_length = int(value.strip())
-                    except ValueError:
-                        content_length = 0
-            body = await reader.readexactly(content_length) if content_length else b""
+            if head is None:
+                return
+            method, target, content_length = head
+            if content_length > self.max_body_bytes:
+                await self._respond(
+                    writer,
+                    413,
+                    {
+                        "error": (
+                            f"body of {content_length} bytes exceeds the"
+                            f" {self.max_body_bytes}-byte limit"
+                        )
+                    },
+                )
+                return
+            if content_length:
+                try:
+                    body = await asyncio.wait_for(
+                        reader.readexactly(content_length), self.request_timeout_s
+                    )
+                except asyncio.TimeoutError:
+                    await self._respond(writer, 408, {"error": "body read timed out"})
+                    return
+            else:
+                body = b""
             split = urlsplit(target)
             query = {
                 name: values[-1] for name, values in parse_qs(split.query).items()
             }
             status, payload = self.handle(method.upper(), split.path, query, body)
-            data = json.dumps(payload, default=_json_default).encode()
-            phrase = _STATUS_PHRASES.get(status, "OK")
-            head = (
-                f"HTTP/1.1 {status} {phrase}\r\n"
-                "Content-Type: application/json\r\n"
-                f"Content-Length: {len(data)}\r\n"
-                "Connection: close\r\n\r\n"
-            )
-            writer.write(head.encode("latin-1") + data)
-            await writer.drain()
+            await self._respond(writer, status, payload)
         except (asyncio.IncompleteReadError, ConnectionError):
             pass
         finally:
+            self.inflight -= 1
+            if task is not None:
+                self.client_tasks.discard(task)
             try:
                 writer.close()
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
+
+    async def drain_clients(self, timeout_s: float = DEFAULT_DRAIN_TIMEOUT_S) -> None:
+        """Graceful shutdown: wait for in-flight requests, then cancel.
+
+        Call after the listening server is closed -- no new connections
+        arrive, existing ones get up to ``timeout_s`` to finish.
+        """
+        current = asyncio.current_task()
+        pending = {task for task in self.client_tasks if task is not current}
+        if not pending:
+            return
+        _, unfinished = await asyncio.wait(pending, timeout=timeout_s)
+        for task in unfinished:
+            task.cancel()
 
 
 def drain_pending_jobs(
@@ -403,12 +581,16 @@ class BackgroundServer:
         db: Optional[Path] = None,
         cache_root: Optional[Path] = None,
         drain: bool = False,
+        request_timeout_s: float = DEFAULT_REQUEST_TIMEOUT_S,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
     ):
         self.host = host
         self.port = port
         self._db = db
         self._cache_root = cache_root
         self._drain = drain
+        self._request_timeout_s = request_timeout_s
+        self._max_body_bytes = max_body_bytes
         self._started = threading.Event()
         self._stop = threading.Event()
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -462,7 +644,12 @@ class BackgroundServer:
     async def _serve(self) -> None:
         self._loop = asyncio.get_running_loop()
         self._stop_async = asyncio.Event()
-        handler = CacheServer(db=self._db, cache_root=self._cache_root)
+        handler = CacheServer(
+            db=self._db,
+            cache_root=self._cache_root,
+            request_timeout_s=self._request_timeout_s,
+            max_body_bytes=self._max_body_bytes,
+        )
         server = await asyncio.start_server(handler.serve_client, self.host, self.port)
         try:
             self.port = server.sockets[0].getsockname()[1]
@@ -471,6 +658,7 @@ class BackgroundServer:
         finally:
             server.close()
             await server.wait_closed()
+            await handler.drain_clients()
             handler.close()
 
 
@@ -483,11 +671,17 @@ async def _serve_forever(args: argparse.Namespace) -> None:
     address = server.sockets[0].getsockname()
     print(f"repro-serve listening on http://{address[0]}:{address[1]}")
     print(f"  profile cache: {handler.profile_cache.root}")
-    print(f"  run/job store: {handler.run_store.path}")
+    if handler.run_store is not None:
+        print(f"  run/job store: {handler.run_store.path}")
+    else:
+        print(f"  run/job store: DEGRADED ({handler.store_error})")
     try:
         async with server:
             await server.serve_forever()
     finally:
+        server.close()
+        await server.wait_closed()
+        await handler.drain_clients()
         handler.close()
 
 

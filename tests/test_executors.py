@@ -185,3 +185,96 @@ class TestExecutorRegistry:
         executor = SubprocessExecutor(workers=1, command=["false"])
         outcomes = executor.run_units([_probe(1)])
         assert outcomes[0].status == OUTCOME_ERROR
+
+
+class TestBackoffJitter:
+    def test_seeded_jitter_is_deterministic(self):
+        first = LocalExecutor(backoff_s=0.1, seed=42)
+        second = LocalExecutor(backoff_s=0.1, seed=42)
+        other = LocalExecutor(backoff_s=0.1, seed=43)
+        attempts = list(range(1, 8))
+        schedule = [first._backoff_delay(n) for n in attempts]
+        assert schedule == [second._backoff_delay(n) for n in attempts]
+        assert schedule != [other._backoff_delay(n) for n in attempts]
+
+    def test_full_jitter_stays_under_the_exponential_cap(self):
+        executor = LocalExecutor(backoff_s=0.1, seed=7)
+        for attempt in range(1, 10):
+            cap = 0.1 * 2 ** (attempt - 1)
+            assert 0.0 <= executor._backoff_delay(attempt) <= cap
+
+    def test_zero_jitter_is_pure_exponential(self):
+        executor = LocalExecutor(backoff_s=0.05, jitter=0.0)
+        assert [executor._backoff_delay(n) for n in (1, 2, 3)] == [0.05, 0.1, 0.2]
+
+    def test_partial_jitter_keeps_a_deterministic_floor(self):
+        executor = LocalExecutor(backoff_s=0.1, jitter=0.5, seed=3)
+        for attempt in range(1, 8):
+            cap = 0.1 * 2 ** (attempt - 1)
+            delay = executor._backoff_delay(attempt)
+            assert cap * 0.5 <= delay <= cap
+
+    def test_jitter_clamped_to_unit_interval(self):
+        assert LocalExecutor(jitter=7.0).jitter == 1.0
+        assert LocalExecutor(jitter=-1.0).jitter == 0.0
+
+
+class TestErrorClassification:
+    def test_permanent_error_skips_retries(self, executor_name):
+        # An unknown unit kind raises UnitSpecError on every worker in
+        # existence; the retry budget must not be spent on it.
+        executor = create_executor(executor_name, workers=1, retries=3, backoff_s=0.01)
+        outcomes = executor.run_units([{"kind": "no_such_kind"}])
+        assert outcomes[0].status == OUTCOME_ERROR
+        assert outcomes[0].attempts == 1
+        assert outcomes[0].classification == "permanent"
+        assert "unknown work-unit kind" in outcomes[0].error
+
+    def test_transient_failures_keep_their_retries(self, executor_name, tmp_path):
+        scratch = tmp_path / "transient"
+        executor = create_executor(executor_name, workers=1, retries=1, backoff_s=0.01)
+        outcomes = executor.run_units(
+            [_probe(1, fail_times=10, scratch=str(scratch))]
+        )
+        assert outcomes[0].status == OUTCOME_ERROR
+        assert outcomes[0].attempts == 2
+        assert outcomes[0].classification == "transient"
+
+    def test_ok_outcomes_carry_no_classification(self, executor_name):
+        executor = create_executor(executor_name, workers=1)
+        outcomes = executor.run_units([_probe(1)])
+        assert outcomes[0].status == OUTCOME_OK
+        assert outcomes[0].classification is None
+
+
+class TestCancellationRaces:
+    def test_cancel_during_backoff_sleep(self):
+        # jitter=0 pins the first backoff at 30s; the cancel must wake the
+        # sleeper immediately instead of letting it doze through.
+        executor = LocalExecutor(retries=5, backoff_s=30.0, jitter=0.0)
+        timer = threading.Timer(0.3, executor.cancel)
+        timer.start()
+        started = time.perf_counter()
+        outcomes = executor.run_units([_probe(1, boom="always")])
+        elapsed = time.perf_counter() - started
+        timer.cancel()
+        assert elapsed < 5.0
+        assert outcomes[0].status == OUTCOME_CANCELLED
+        assert outcomes[0].attempts == 1  # the pre-cancel attempt stands
+
+    def test_cancel_mid_subprocess_handshake(self):
+        # A worker command that never answers the warmup probe: cancel
+        # must kill it and return promptly, not wait out the warmup cap.
+        import sys as _sys
+
+        executor = SubprocessExecutor(
+            workers=1, command=[_sys.executable, "-c", "import time; time.sleep(600)"]
+        )
+        timer = threading.Timer(0.5, executor.cancel)
+        timer.start()
+        started = time.perf_counter()
+        outcomes = executor.run_units([_probe(1), _probe(2)])
+        elapsed = time.perf_counter() - started
+        timer.cancel()
+        assert elapsed < 30.0
+        assert {o.status for o in outcomes} == {OUTCOME_CANCELLED}

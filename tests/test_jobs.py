@@ -187,7 +187,11 @@ class TestJobStore:
             summary = store.run_job(job.id, LocalExecutor(), stop_on_error=True)
             assert summary.completed == 1
             assert summary.failed == 1
-            assert summary.cancelled == 1
+            # Lease-based claims never touch the unit after the failing
+            # wave: it is not claimed at all (rather than claimed and
+            # released), so nothing is reported cancelled.
+            assert summary.cancelled == 0
+            assert summary.executed == 2
             states = [unit.state for unit in store.units(job.id)]
             assert states == [UNIT_DONE, UNIT_FAILED, UNIT_PENDING]
             assert _markers(scratch, 2) == 0
@@ -309,3 +313,119 @@ class TestUnitKindRegistry:
             # The stored JSON is canonical: sorted keys, no volatile fields.
             stored = json.loads(done[0].result_json)
             assert list(stored) == sorted(stored)
+
+
+class TestLeases:
+    """Lease-based claims: partitioning, staleness, heartbeats, cancel."""
+
+    def _submitted(self, tmp_path, count=3, **kwargs):
+        store = JobStore(tmp_path / "runs.sqlite")
+        job_id = store.submit(JobSpec.probes(count, **kwargs)).id
+        return store, job_id
+
+    def test_claims_partition_concurrent_claimants(self, tmp_path):
+        store_a, job_id = self._submitted(tmp_path)
+        with JobStore(tmp_path / "runs.sqlite") as store_b:
+            wave_a = store_a.claim_units(job_id, [0, 1], owner="claimant-a")
+            assert [unit.seq for unit in wave_a] == [0, 1]
+            # A second claimant asking for an overlapping set gets only
+            # what is still free -- never a unit another claimant holds.
+            wave_b = store_b.claim_units(job_id, [0, 1, 2], owner="claimant-b")
+            assert [unit.seq for unit in wave_b] == [2]
+            assert all(unit.lease_owner == "claimant-b" for unit in wave_b)
+        store_a.close()
+
+    def test_done_units_are_never_claimable(self, tmp_path):
+        store, job_id = self._submitted(tmp_path)
+        store.run_job(job_id, LocalExecutor())
+        assert store.claim_units(job_id, [0, 1, 2], owner="late") == []
+
+    def test_live_lease_not_reclaimed(self, tmp_path):
+        from repro.runtime.jobs import default_claim_owner
+
+        store, job_id = self._submitted(tmp_path)
+        # This process is alive and the lease is fresh: nothing is stale.
+        store.claim_units(job_id, [0], owner=default_claim_owner(), lease_s=3600.0)
+        assert store.reset_stale_running(job_id) == 0
+        assert [unit.seq for unit in store.claimable_units(job_id)] == [1, 2]
+        store.close()
+
+    def test_expired_lease_reclaimed(self, tmp_path):
+        store, job_id = self._submitted(tmp_path)
+        # A remote owner (liveness unknowable) whose lease already lapsed.
+        store.claim_units(job_id, [0], owner="elsewhere:123:aa", lease_s=-1.0)
+        assert store.reset_stale_running(job_id) == 1
+        assert [unit.seq for unit in store.claimable_units(job_id)] == [0, 1, 2]
+        store.close()
+
+    def test_remote_lease_trusted_until_expiry(self, tmp_path):
+        store, job_id = self._submitted(tmp_path)
+        store.claim_units(job_id, [0], owner="elsewhere:123:aa", lease_s=3600.0)
+        assert store.reset_stale_running(job_id) == 0
+        store.close()
+
+    def test_dead_local_pid_reclaimed_before_expiry(self, tmp_path):
+        import socket
+
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait(timeout=30)
+        store, job_id = self._submitted(tmp_path)
+        # Same host, pid provably dead, lease nominally good for an hour:
+        # a SIGKILLed sweep must be reclaimable immediately.
+        owner = f"{socket.gethostname()}:{proc.pid}:deadbeef"
+        store.claim_units(job_id, [0], owner=owner, lease_s=3600.0)
+        assert store.reset_stale_running(job_id) == 1
+        store.close()
+
+    def test_heartbeat_extends_leases_past_their_first_expiry(self, tmp_path):
+        import threading
+
+        db = tmp_path / "runs.sqlite"
+        scratch = tmp_path / "scratch"
+        with JobStore(db) as store:
+            job_id = store.submit(JobSpec.probes(1, sleep_s=1.2, scratch=scratch)).id
+
+        def run():
+            with JobStore(db) as worker_store:
+                worker_store.run_job(job_id, LocalExecutor(), lease_s=0.4)
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        try:
+            # 0.8s in, the initial 0.4s lease has lapsed on the wall clock;
+            # only the heartbeat can have pushed the expiry forward.
+            time.sleep(0.8)
+            with JobStore(db) as observer:
+                unit = observer.units(job_id)[0]
+                assert unit.state == UNIT_RUNNING
+                assert unit.lease_expires_at is not None
+                assert unit.lease_expires_at > time.time()
+                # And a rival resume must not steal the live claim.
+                assert observer.reset_stale_running(job_id) == 0
+        finally:
+            thread.join(timeout=60)
+        with JobStore(db) as store:
+            assert store.job(job_id).state == JOB_DONE
+
+    def test_cancel_mid_wave_leaves_units_claimable(self, tmp_path):
+        import threading
+
+        scratch = tmp_path / "scratch"
+        store, job_id = self._submitted(tmp_path, count=4, sleep_s=0.3, scratch=scratch)
+        executor = LocalExecutor()
+        timer = threading.Timer(0.15, executor.cancel)
+        timer.start()
+        summary = store.run_job(job_id, executor)
+        timer.cancel()
+        # The cancel stopped the sweep early, whether it surfaced as
+        # cancelled outcomes or landed between a wave's last check and
+        # the next claim.
+        assert summary.executed < 4
+        units = store.units(job_id)
+        # No unit is stranded: everything is done or back to pending with
+        # its lease cleared, and a clean resume finishes the job.
+        assert {unit.state for unit in units} <= {UNIT_DONE, UNIT_PENDING}
+        assert all(unit.lease_owner is None for unit in units)
+        resumed = store.run_job(job_id, LocalExecutor())
+        assert resumed.state == JOB_DONE
+        store.close()

@@ -210,3 +210,136 @@ class TestEndToEnd:
             assert payload is not None and payload["status"] == "cached"
             assert payload["profile"]["app"] == APP
             assert list(cache_root.glob("*.json"))
+
+
+class TestHardening:
+    """/healthz, degraded 503s, body caps, request timeouts, drain."""
+
+    def test_healthz_reports_ready(self, server):
+        status, payload = _get(server, "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["requests_total"] >= 1
+        assert payload["inflight"] == 0
+        assert "uptime_s" in payload and "db" in payload
+
+    def _broken_db(self, tmp_path):
+        import sqlite3
+
+        db = tmp_path / "broken.sqlite"
+        conn = sqlite3.connect(db)
+        conn.execute("PRAGMA user_version=99")  # "newer schema" -> refused
+        conn.commit()
+        conn.close()
+        return db
+
+    def test_unusable_store_degrades_instead_of_crashing(self, tmp_path):
+        handler = CacheServer(db=self._broken_db(tmp_path), cache_root=tmp_path / "cache")
+        try:
+            # Liveness still answers; readiness says degraded and why.
+            assert _get(handler, "/health")[0] == 200
+            status, payload = _get(handler, "/healthz")
+            assert status == 200
+            assert payload["status"] == "degraded"
+            assert "schema version 99" in payload["store_error"]
+            # Store-backed routes answer 503, not 500.
+            for path in ("/runs", "/jobs", "/jobs/1"):
+                status, payload = _get(handler, path)
+                assert status == 503
+                assert payload["status"] == "degraded"
+            status, _ = handler.handle("POST", "/jobs", {}, b'{"type": "profile_grid"}')
+            assert status == 503
+        finally:
+            handler.close()
+
+    def test_degraded_store_still_serves_warm_cache(self, tmp_path, dataset):
+        cache_root = tmp_path / "cache"
+        execute_unit(
+            {
+                "kind": "profile",
+                "app": APP,
+                "dataset": dataset,
+                "context": {"scale": 1 / 512},
+                "cache_root": str(cache_root),
+            }
+        )
+        handler = CacheServer(db=self._broken_db(tmp_path), cache_root=cache_root)
+        try:
+            status, payload = _get(
+                handler, "/profile", {"app": APP, "dataset": dataset, "scale": SCALE_QUERY}
+            )
+            assert status == 200
+            assert payload["status"] == "cached"
+            # A cold query needs the job store to enqueue: degraded 503.
+            other = app_datasets()[APP][1]
+            status, _ = _get(
+                handler, "/profile", {"app": APP, "dataset": other, "scale": SCALE_QUERY}
+            )
+            assert status == 503
+        finally:
+            handler.close()
+
+    def test_oversized_body_refused_with_413(self, tmp_path):
+        with BackgroundServer(
+            db=tmp_path / "runs.sqlite",
+            cache_root=tmp_path / "cache",
+            max_body_bytes=256,
+        ) as background:
+            body = json.dumps({"type": "profile_grid", "pad": "x" * 1024}).encode()
+            request = urllib.request.Request(
+                background.url + "/jobs", data=body, method="POST"
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=10)
+            assert excinfo.value.code == 413
+            assert "exceeds" in json.load(excinfo.value)["error"]
+            # The connection-scoped failure must not poison the server.
+            with urllib.request.urlopen(background.url + "/healthz", timeout=10) as resp:
+                assert resp.status == 200
+
+    def test_stuck_client_cut_off_with_408(self, tmp_path):
+        import socket
+
+        with BackgroundServer(
+            db=tmp_path / "runs.sqlite",
+            cache_root=tmp_path / "cache",
+            request_timeout_s=0.5,
+        ) as background:
+            with socket.create_connection((background.host, background.port), timeout=10) as sock:
+                sock.sendall(b"GET /health HTTP/1.1\r\n")  # headers never finish
+                sock.settimeout(10)
+                response = b""
+                while b"}" not in response:
+                    chunk = sock.recv(4096)
+                    if not chunk:
+                        break
+                    response += chunk
+            assert b"408" in response.split(b"\r\n", 1)[0]
+            assert b"timed out" in response
+
+    def test_drain_waits_for_inflight_then_cancels_stragglers(self):
+        import asyncio
+
+        from repro.runtime.serve import CacheServer as _CacheServer
+
+        async def scenario():
+            handler = _CacheServer.__new__(_CacheServer)  # just the task plumbing
+            handler.client_tasks = set()
+            finished = []
+
+            async def quick():
+                await asyncio.sleep(0.05)
+                finished.append("quick")
+
+            async def stuck():
+                await asyncio.sleep(600)
+
+            quick_task = asyncio.ensure_future(quick())
+            stuck_task = asyncio.ensure_future(stuck())
+            handler.client_tasks.update({quick_task, stuck_task})
+            await handler.drain_clients(timeout_s=0.5)
+            await asyncio.sleep(0)  # let the cancellation land
+            assert finished == ["quick"]
+            assert stuck_task.cancelled() or stuck_task.cancelling()
+
+        asyncio.run(scenario())
