@@ -13,7 +13,10 @@ root to track the performance trajectory.
 It also times the format substrate (the packed-word scan/convert/construct
 grid: ``scan_batch`` against the element-at-a-time scan loop, the batched
 ``convert_many`` against its tile loop, and the vectorized bit-tree build
-against the ``set()`` loop), recorded under ``formats``.
+against the ``set()`` loop), recorded under ``formats``, and the adaptive
+design-space search (the seeded evolutionary engine against exhaustive
+three-objective enumeration of a 2048-variant grid, plus a kilovariant-
+space exploration pass), recorded under ``dse``.
 
 Every run is appended to the SQLite experiment store
 (:class:`repro.runtime.runstore.RunStore`; ``--run-db`` / ``REPRO_RUN_DB``,
@@ -498,6 +501,150 @@ def _bench_chunked(profiles) -> dict:
     }
 
 
+def _bench_dse(profiles, workers, executor) -> dict:
+    """Pit the adaptive search engine against exhaustive enumeration.
+
+    Two spaces, both cold (persistent throughput store disabled, in-process
+    memo cleared before every timed pass):
+
+    * a 2048-variant grid small enough to enumerate: the exhaustive
+      three-objective :func:`explore` pass (cycles, area, energy) gives the
+      true Pareto frontier and its hypervolume; a seeded evolutionary
+      search over the same space must recover ``hypervolume_ratio`` of it
+      while spending ``eval_fraction`` of the full-grid evaluation budget
+      (the CI gate requires >= 0.95 at <= 0.25);
+    * the kilovariant default space (:data:`DEFAULT_SEARCH_AXES`,
+      110,592 points) where enumeration is off the table -- only the
+      search runs, and ``kilovariant_s`` tracks that exploring it stays
+      minutes, not hours.
+
+    ``identical`` folds in the two bit-level contracts the search rests
+    on: the vectorized energy batch reproduces the per-call
+    :func:`estimate_energy` reference element for element, and re-running
+    the seeded search yields a byte-identical result payload.
+    """
+    import repro.core.spmu as spmu_module
+    from repro.core.energy import ENERGY_CATEGORIES, estimate_energy
+    from repro.runtime.dse import explore
+    from repro.runtime.search import (
+        DEFAULT_SEARCH_AXES,
+        AdaptiveSearch,
+        SearchSpace,
+        hypervolume,
+        make_strategy,
+    )
+
+    axes = {
+        "lanes": (8, 16),
+        "banks": (16, 32),
+        "queue_depth": (8, 16),
+        "crossbar_inputs": (16, 32),
+        "compute_units": (64, 100, 144, 196, 256, 324, 400, 484),
+        "bank_mapping": ("hash", "linear"),
+        "allocator": ("separable", "greedy"),
+        "ordering": (OrderingMode.UNORDERED, OrderingMode.ADDRESS_ORDERED),
+        "memory": (MemoryTechnology.HBM2E, MemoryTechnology.DDR4),
+    }
+    objectives = ("cycles", "area", "energy")
+
+    def _search(space, population, generations, seed=0):
+        engine = AdaptiveSearch(
+            space,
+            make_strategy("evolve", population=population, generations=generations),
+            profiles,
+            objectives=objectives,
+            seed=seed,
+        )
+        return engine.run()
+
+    saved_disable = os.environ.get("REPRO_THROUGHPUT_CACHE_DISABLE")
+    os.environ["REPRO_THROUGHPUT_CACHE_DISABLE"] = "1"
+    try:
+        spmu_module._THROUGHPUT_CACHE.clear()
+        start = time.perf_counter()
+        exhaustive = explore(profiles=profiles, energy=True, **axes)
+        exhaustive_s = time.perf_counter() - start
+
+        exhaustive_costs = np.column_stack(
+            (
+                exhaustive.gmean_cycles,
+                np.array([row["area_mm2"] for row in exhaustive.rows()]),
+                exhaustive.gmean_energy_mj,
+            )
+        )
+        # A reference point strictly dominated by every candidate, so each
+        # one contributes volume; both frontiers are scored against it.
+        reference = exhaustive_costs.max(axis=0) * 1.1
+        exhaustive_hv = hypervolume(exhaustive_costs, reference)
+
+        space = SearchSpace.from_axes(axes)
+        spmu_module._THROUGHPUT_CACHE.clear()
+        start = time.perf_counter()
+        result = _search(space, population=48, generations=8)
+        search_s = time.perf_counter() - start
+        hv_ratio = result.hypervolume(reference) / exhaustive_hv
+
+        # Same seed, fresh engine: the result payload must be byte-identical.
+        deterministic = json.dumps(_search(space, 48, 8).to_dict()) == json.dumps(
+            result.to_dict()
+        )
+
+        # The energy batch the search consumes must match the per-call
+        # reference exactly (spot check over a corner of the grid).
+        spot_platforms = list(exhaustive.variants.values())[:16]
+        spot_profiles = profiles[:4]
+        batch = estimate_cycles_batch(spot_profiles, spot_platforms, energy=True)
+        energy_identical = all(
+            batch.energy_mj[i, j] == estimate_energy(profile, platform)[0]
+            and all(
+                batch.energy_categories[name][i, j]
+                == getattr(estimate_energy(profile, platform)[1], name)
+                for name in ENERGY_CATEGORIES
+            )
+            for i, profile in enumerate(spot_profiles)
+            for j, platform in enumerate(spot_platforms)
+        )
+
+        # Warm memo: the traced pass measures search machinery, not the
+        # SpMU simulations already counted in the timing above.
+        peak_mb = _traced_peak_mb(lambda: _search(space, 48, 8))
+
+        kilovariant = SearchSpace.from_axes(dict(DEFAULT_SEARCH_AXES))
+        spmu_module._THROUGHPUT_CACHE.clear()
+        start = time.perf_counter()
+        kv_result = _search(kilovariant, population=64, generations=8)
+        kilovariant_s = time.perf_counter() - start
+    finally:
+        spmu_module._THROUGHPUT_CACHE.clear()
+        if saved_disable is None:
+            del os.environ["REPRO_THROUGHPUT_CACHE_DISABLE"]
+        else:
+            os.environ["REPRO_THROUGHPUT_CACHE_DISABLE"] = saved_disable
+
+    return {
+        "space_size": space.size,
+        "profiles": len(profiles),
+        "objectives": list(objectives),
+        "exhaustive_s": round(exhaustive_s, 3),
+        "search_s": round(search_s, 3),
+        "search_speedup": round(exhaustive_s / search_s, 1),
+        "evaluations": round(result.evaluations, 1),
+        "eval_fraction": round(result.evaluations / space.size, 4),
+        "hypervolume_ratio": round(hv_ratio, 4),
+        "frontier_exhaustive": len(exhaustive.frontier(objectives)),
+        "frontier_search": len(result.frontier()),
+        "kilovariant_space": kilovariant.size,
+        "kilovariant_s": round(kilovariant_s, 1),
+        "kilovariant_evaluations": round(kv_result.evaluations, 1),
+        "kilovariant_frontier": len(kv_result.frontier()),
+        "workers": workers,
+        "executor": executor,
+        "cpu_count": os.cpu_count(),
+        "peak_mb": round(peak_mb, 2),
+        "identical": bool(energy_identical and deterministic),
+    }
+
+
 def _resolve_expectations(args) -> dict:
     """Load the declarative gate and apply any legacy flag overrides.
 
@@ -521,6 +668,8 @@ def _resolve_expectations(args) -> dict:
         (args.min_formats_speedup, "formats", "min", "speedup"),
         (args.min_numba_speedup, "chunked", "min", "spmu_numba_speedup"),
         (args.max_peak_ratio, "chunked", "max", "peak_ratio"),
+        (args.min_hypervolume_ratio, "dse", "min", "hypervolume_ratio"),
+        (args.max_eval_fraction, "dse", "max", "eval_fraction"),
     )
     for value, section, kind, metric in overrides:
         if value is not None:
@@ -530,6 +679,7 @@ def _resolve_expectations(args) -> dict:
         (args.no_spmu, "spmu"),
         (args.no_formats, "formats"),
         (args.no_chunked, "chunked"),
+        (args.no_dse, "dse"),
     ):
         if skipped:
             expectations["sections"].pop(section, None)
@@ -594,6 +744,8 @@ def _run_benchmarks(args, scale: float) -> dict:
         record["formats"] = _bench_formats()
     if not args.no_chunked:
         record["chunked"] = _bench_chunked(profiles)
+    if not args.no_dse:
+        record["dse"] = _bench_dse(profiles, record["workers"], record["executor"])
     return record
 
 
@@ -720,6 +872,29 @@ def main(argv=None) -> int:
         type=float,
         default=None,
         help="override the streamed-peak ratio limit (expectations default: 1.5)",
+    )
+    parser.add_argument(
+        "--no-dse",
+        action="store_true",
+        help="skip the adaptive-search vs exhaustive-enumeration benchmark",
+    )
+    parser.add_argument(
+        "--min-hypervolume-ratio",
+        type=float,
+        default=None,
+        help=(
+            "override the search-vs-exhaustive hypervolume floor "
+            "(expectations default: 0.95)"
+        ),
+    )
+    parser.add_argument(
+        "--max-eval-fraction",
+        type=float,
+        default=None,
+        help=(
+            "override the search evaluation-budget ceiling "
+            "(expectations default: 0.25)"
+        ),
     )
     parser.add_argument(
         "--min-numba-speedup",

@@ -299,10 +299,20 @@ class BatchCostResult:
             ``estimate_cycles(profiles[i], platforms[j])[0]`` exactly.
         categories: One array per :data:`~repro.sim.stats.STALL_CATEGORIES`
             entry, each the same shape as ``cycles``.
+        energy_mj: Per-cell energy in millijoules (same shape as
+            ``cycles``) when the grid was costed with ``energy=True``;
+            ``energy_mj[i, j]`` equals
+            ``estimate_energy(profiles[i], platforms[j])[0]`` exactly.
+            ``None`` otherwise.
+        energy_categories: One array per
+            :data:`~repro.core.energy.ENERGY_CATEGORIES` entry when
+            ``energy=True``, else ``None``.
     """
 
     cycles: np.ndarray
     categories: Dict[str, np.ndarray]
+    energy_mj: Optional[np.ndarray] = None
+    energy_categories: Optional[Dict[str, np.ndarray]] = None
 
     def breakdown(self, profile_index: int, platform_index: int) -> StallBreakdown:
         """The :class:`StallBreakdown` of one grid cell."""
@@ -321,7 +331,9 @@ COSTING_BYTES_PER_CELL = 8 * 40
 
 
 def _estimate_cycles_batch_columns(
-    profiles: Sequence[WorkloadProfile], platforms: Sequence[CapstanPlatform]
+    profiles: Sequence[WorkloadProfile],
+    platforms: Sequence[CapstanPlatform],
+    energy: bool = False,
 ) -> BatchCostResult:
     """One unchunked costing pass over a (profile x platform) grid.
 
@@ -335,7 +347,14 @@ def _estimate_cycles_batch_columns(
     n_profiles, n_platforms = len(profiles), len(platforms)
     if n_profiles == 0 or n_platforms == 0:
         empty = {name: np.zeros((n_profiles, n_platforms)) for name in STALL_CATEGORIES}
-        return BatchCostResult(cycles=np.zeros((n_profiles, n_platforms)), categories=empty)
+        result = BatchCostResult(cycles=np.zeros((n_profiles, n_platforms)), categories=empty)
+        if energy:
+            from ..core.energy import estimate_energy_batch
+
+            energies = estimate_energy_batch(profiles, platforms, result.cycles)
+            result.energy_mj = energies.total
+            result.energy_categories = energies.categories
+        return result
 
     # --- Stack profile fields into (P, 1) columns. Derived per-profile ------ #
     # scalars use the same Python expressions as the scalar model so their
@@ -503,7 +522,16 @@ def _estimate_cycles_batch_columns(
     cycles = np.zeros((n_profiles, n_platforms))
     for name in STALL_CATEGORIES:
         cycles = cycles + categories[name]
-    return BatchCostResult(cycles=cycles, categories=categories)
+    result = BatchCostResult(cycles=cycles, categories=categories)
+    if energy:
+        # The energy batch is column-independent like the costing batch,
+        # so attaching it here keeps chunked passes bit-identical too.
+        from ..core.energy import estimate_energy_batch
+
+        energies = estimate_energy_batch(profiles, platforms, cycles)
+        result.energy_mj = energies.total
+        result.energy_categories = energies.categories
+    return result
 
 
 def iter_cycles_batches(
@@ -512,6 +540,7 @@ def iter_cycles_batches(
     *,
     memory_budget: Union[int, str, None] = None,
     chunk_platforms: Optional[int] = None,
+    energy: bool = False,
 ) -> Iterator[Tuple[List[CapstanPlatform], BatchCostResult]]:
     """Stream a costing grid as (platform chunk, chunk result) pairs.
 
@@ -526,12 +555,13 @@ def iter_cycles_batches(
     budget = resolve_memory_budget(memory_budget)
     if chunk_platforms is None:
         if budget is None:
-            yield (chunk := list(platforms)), _estimate_cycles_batch_columns(profiles, chunk)
+            chunk = list(platforms)
+            yield chunk, _estimate_cycles_batch_columns(profiles, chunk, energy=energy)
             return
         per_platform = max(len(profiles), 1) * COSTING_BYTES_PER_CELL
         chunk_platforms = plan_chunks(0, per_platform, budget).chunk_items
     for chunk in iter_chunked(platforms, chunk_platforms):
-        yield chunk, _estimate_cycles_batch_columns(profiles, chunk)
+        yield chunk, _estimate_cycles_batch_columns(profiles, chunk, energy=energy)
 
 
 def estimate_cycles_batch(
@@ -540,6 +570,7 @@ def estimate_cycles_batch(
     *,
     memory_budget: Union[int, str, None] = None,
     chunk_platforms: Optional[int] = None,
+    energy: bool = False,
 ) -> BatchCostResult:
     """Cost every (profile, platform) pair of a grid in vectorized passes.
 
@@ -563,28 +594,44 @@ def estimate_cycles_batch(
             ``None`` defers to ``REPRO_MEMORY_BUDGET``.
         chunk_platforms: Explicit platform-axis chunk width (overrides the
             cost model; mainly for the equivalence tests).
+        energy: Also cost per-cell energy through
+            :func:`~repro.core.energy.estimate_energy_batch` (attached as
+            ``energy_mj`` / ``energy_categories``).
 
     Returns:
         A :class:`BatchCostResult` with per-cell cycles and stall categories.
     """
     profiles = list(profiles)
     if chunk_platforms is None and resolve_memory_budget(memory_budget) is None:
-        return _estimate_cycles_batch_columns(profiles, list(platforms))
+        return _estimate_cycles_batch_columns(profiles, list(platforms), energy=energy)
     parts = [
         result
         for _chunk, result in iter_cycles_batches(
-            profiles, platforms, memory_budget=memory_budget, chunk_platforms=chunk_platforms
+            profiles,
+            platforms,
+            memory_budget=memory_budget,
+            chunk_platforms=chunk_platforms,
+            energy=energy,
         )
     ]
     if not parts:
-        return _estimate_cycles_batch_columns(profiles, [])
-    return BatchCostResult(
+        return _estimate_cycles_batch_columns(profiles, [], energy=energy)
+    merged = BatchCostResult(
         cycles=np.concatenate([part.cycles for part in parts], axis=1),
         categories={
             name: np.concatenate([part.categories[name] for part in parts], axis=1)
             for name in STALL_CATEGORIES
         },
     )
+    if energy:
+        from ..core.energy import ENERGY_CATEGORIES
+
+        merged.energy_mj = np.concatenate([part.energy_mj for part in parts], axis=1)
+        merged.energy_categories = {
+            name: np.concatenate([part.energy_categories[name] for part in parts], axis=1)
+            for name in ENERGY_CATEGORIES
+        }
+    return merged
 
 
 def run_metrics(

@@ -82,6 +82,12 @@ DEFAULT_EXPECTATIONS: Dict[str, Any] = {
             "max": {"peak_ratio": 1.5},
             "compare": {"chunked_s": 2.0},
         },
+        "dse": {
+            "identical": True,
+            "min": {"hypervolume_ratio": 0.95},
+            "max": {"eval_fraction": 0.25, "kilovariant_s": 300.0},
+            "compare": {"search_s": 2.0},
+        },
     },
     "trends": {"window": 5, "min_drift": 1.1},
 }

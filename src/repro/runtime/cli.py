@@ -276,8 +276,147 @@ def build_dse_parser() -> argparse.ArgumentParser:
         "--top", type=int, default=0, metavar="N",
         help="print only the N best variants by gmean cycles (0 = all)",
     )
+    parser.add_argument(
+        "--search",
+        choices=("halving", "evolve"),
+        default=None,
+        help=(
+            "search the space adaptively instead of enumerating it: "
+            "successive halving or a seeded evolutionary loop (default "
+            "axes then span the full kilovariant structural space)"
+        ),
+    )
+    parser.add_argument(
+        "--generations", type=int, default=None,
+        help="search generations (halving rungs / evolve generations)",
+    )
+    parser.add_argument(
+        "--population", type=int, default=None,
+        help="search batch width (halving rung 0 width / evolve population)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help=(
+            "RNG seed threaded through sweep ordering and the search "
+            "strategies; equal seeds give byte-identical frontier JSON "
+            "(default: 0 for --search, unshuffled sweep order otherwise)"
+        ),
+    )
+    parser.add_argument(
+        "--objective",
+        default=None,
+        metavar="OBJ[,OBJ...]",
+        help=(
+            "minimized objectives from cycles,area,energy (default: "
+            "cycles,area for enumeration; cycles,area,energy for --search)"
+        ),
+    )
+    parser.add_argument(
+        "--search-store",
+        default=None,
+        metavar="DIR",
+        help=(
+            "search state/result store for --search (default: "
+            "$REPRO_SEARCH_STORE or ~/.cache/repro/search; 'none' disables "
+            "persistence and resume)"
+        ),
+    )
     parser.add_argument("--json", default=None, help="also write the full cost grid here")
     return parser
+
+
+def _parse_objectives(
+    parser: argparse.ArgumentParser, spec: Optional[str], default: Tuple[str, ...]
+) -> Tuple[str, ...]:
+    from .search import OBJECTIVES
+
+    if spec is None:
+        return default
+    objectives = tuple(name.strip() for name in spec.split(",") if name.strip())
+    if not objectives:
+        parser.error("--objective needs at least one objective")
+    unknown = set(objectives) - set(OBJECTIVES)
+    if unknown:
+        parser.error(
+            f"unknown objectives: {', '.join(sorted(unknown))} "
+            f"(choose from {', '.join(OBJECTIVES)})"
+        )
+    if len(set(objectives)) != len(objectives):
+        parser.error("--objective lists an objective twice")
+    return objectives
+
+
+def _dse_search_main(
+    parser: argparse.ArgumentParser,
+    args: argparse.Namespace,
+    axes: Dict[str, list],
+    apps: Optional[List[str]],
+    cache: object,
+    context: "RunContext",
+) -> int:
+    from .search import (
+        DEFAULT_SEARCH_AXES,
+        AdaptiveSearch,
+        SearchSpace,
+        SearchStore,
+        make_strategy,
+    )
+
+    objectives = _parse_objectives(parser, args.objective, ("cycles", "area", "energy"))
+    store: Optional[SearchStore]
+    if args.search_store == "none":
+        store = None
+    elif args.search_store is not None:
+        store = SearchStore(Path(args.search_store))
+    else:
+        store = SearchStore()
+
+    try:
+        space = SearchSpace.from_axes(axes or dict(DEFAULT_SEARCH_AXES))
+        strategy = make_strategy(
+            args.search, population=args.population, generations=args.generations
+        )
+        runner = ExperimentRunner(
+            context=context, workers=args.workers, cache=cache, executor=args.executor
+        )
+        report = runner.run(apps=apps)
+        profiles = [r.profile for r in report.results if r.profile is not None]
+        engine = AdaptiveSearch(
+            space,
+            strategy,
+            profiles,
+            objectives=objectives,
+            seed=args.seed or 0,
+            store=store,
+        )
+        result = engine.run()
+    except CapstanError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    print(
+        f"DSE search ({result.strategy}, seed={result.seed}): explored "
+        f"{len(result.names)} of {result.space_size} variants in "
+        f"{result.generations} generations "
+        f"({result.evaluations:.0f} full-grid-equivalent evaluations, "
+        f"{len(result.tasks)} profiles)"
+    )
+    frontier_rows = result.frontier_rows()
+    name_width = max((len(row["name"]) for row in frontier_rows), default=4)
+    header = "  ".join(f"{obj:>14}" for obj in result.objectives)
+    print(f"  {'variant':<{name_width}}  {header}")
+    for row in frontier_rows:
+        cols = "  ".join(f"{row[obj]:>14.5g}" for obj in result.objectives)
+        print(f"  {row['name']:<{name_width}}  {cols}")
+    print(f"Pareto frontier: {len(frontier_rows)} of {len(result.names)} explored")
+
+    if args.json:
+        payload = result.to_dict()
+        payload["scale"] = args.scale
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json}")
+    return 0
 
 
 def _dse_main(argv: List[str]) -> int:
@@ -285,8 +424,17 @@ def _dse_main(argv: List[str]) -> int:
     args = parser.parse_args(argv)
     _apply_memory_budget(parser, args)
 
+    if args.search is None:
+        for flag in ("generations", "population"):
+            if getattr(args, flag) is not None:
+                parser.error(f"--{flag} requires --search")
+        if args.search_store is not None:
+            parser.error("--search-store requires --search")
+    elif args.prefill or args.prefill_only:
+        parser.error("--prefill/--prefill-only only apply to exhaustive enumeration")
+
     axes = _parse_axes(parser, args.axis)
-    if not axes:
+    if not axes and args.search is None:
         axes = {"lanes": [8, 16, 32], "banks": [8, 16, 32]}
 
     apps = [name.strip() for name in args.apps.split(",") if name.strip()] if args.apps else None
@@ -324,6 +472,12 @@ def _dse_main(argv: List[str]) -> int:
         conv_scale=args.conv_scale,
         backend=_resolve_backend(args.backend),
     )
+
+    if args.search is not None:
+        return _dse_search_main(parser, args, axes, apps, cache, context)
+
+    objectives = _parse_objectives(parser, args.objective, ("cycles", "area"))
+    energy = "energy" in objectives
     try:
         result = explore(
             apps=apps,
@@ -331,17 +485,22 @@ def _dse_main(argv: List[str]) -> int:
             workers=args.workers,
             cache=cache,
             executor=args.executor,
+            energy=energy,
+            seed=args.seed,
             **axes,
         )
     except CapstanError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 
-    rows = sorted(result.rows(), key=lambda row: row["gmean_cycles"])
-    if args.pareto_only:
-        rows = [row for row in rows if row["pareto"]]
-    if args.top > 0:
-        rows = rows[: args.top]
+    if args.top > 0 and not args.pareto_only:
+        rows = result.top_rows(args.top)
+    else:
+        rows = sorted(result.rows(), key=lambda row: row["gmean_cycles"])
+        if args.pareto_only:
+            rows = [row for row in rows if row["pareto"]]
+        if args.top > 0:
+            rows = rows[: args.top]
 
     axis_summary = ", ".join(f"{axis}={len(values)}" for axis, values in axes.items())
     print(
@@ -349,14 +508,19 @@ def _dse_main(argv: List[str]) -> int:
         f"{len(result.tasks)} profiles (scale={args.scale:g})"
     )
     name_width = max(len(row["name"]) for row in rows) if rows else 4
-    print(f"  {'variant':<{name_width}}  {'gmean cycles':>13}  {'area mm^2':>9}  pareto")
+    energy_header = f"  {'energy mJ':>11}" if energy else ""
+    print(
+        f"  {'variant':<{name_width}}  {'gmean cycles':>13}  {'area mm^2':>9}"
+        f"{energy_header}  pareto"
+    )
     for row in rows:
         marker = "*" if row["pareto"] else ""
+        energy_col = f"  {row['gmean_energy_mj']:>11.4g}" if energy else ""
         print(
             f"  {row['name']:<{name_width}}  {row['gmean_cycles']:>13.4g}  "
-            f"{row['area_mm2']:>9.1f}  {marker}"
+            f"{row['area_mm2']:>9.1f}{energy_col}  {marker}"
         )
-    frontier = result.frontier()
+    frontier = result.frontier(objectives if energy else None)
     print(f"Pareto frontier ({len(frontier)}): {', '.join(frontier)}")
 
     if args.json:
@@ -369,6 +533,8 @@ def _dse_main(argv: List[str]) -> int:
             "variants": result.rows(),
             "frontier": list(frontier),
         }
+        if args.seed is not None:
+            payload["seed"] = args.seed
         if result.batch is not None:
             payload["cycles"] = [[float(c) for c in row] for row in result.cycles]
         with open(args.json, "w") as handle:

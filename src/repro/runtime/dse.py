@@ -95,6 +95,8 @@ class DSEResult:
             memory budget instead of materializing it.
         area_mm2: Modelled chip area per variant.
         gmean_cycles: Geometric-mean cycles over all profiles per variant.
+        gmean_energy_mj: Geometric-mean energy (mJ) over all profiles per
+            variant when the exploration costed energy, else ``None``.
     """
 
     variants: Dict[str, CapstanPlatform]
@@ -102,7 +104,10 @@ class DSEResult:
     batch: Optional[BatchCostResult]
     area_mm2: np.ndarray
     gmean_cycles: np.ndarray
-    _frontier: Optional[Tuple[str, ...]] = field(default=None, repr=False)
+    gmean_energy_mj: Optional[np.ndarray] = None
+    _frontiers: Dict[Tuple[str, ...], Tuple[str, ...]] = field(
+        default_factory=dict, repr=False
+    )
 
     @property
     def names(self) -> List[str]:
@@ -119,26 +124,77 @@ class DSEResult:
             )
         return self.batch.cycles
 
-    def frontier(self) -> Tuple[str, ...]:
-        """Variant names on the (gmean cycles, area) Pareto frontier."""
-        if self._frontier is None:
-            costs = np.column_stack([self.gmean_cycles, self.area_mm2])
+    def _objective_values(self, objective: str) -> np.ndarray:
+        if objective == "cycles":
+            return self.gmean_cycles
+        if objective == "area":
+            return self.area_mm2
+        if objective == "energy":
+            if self.gmean_energy_mj is None:
+                raise ConfigurationError(
+                    "energy was not costed; pass energy=True to explore() "
+                    "(repro-eval dse --objective ...,energy)"
+                )
+            return self.gmean_energy_mj
+        raise ConfigurationError(
+            f"unknown objective {objective!r}; known: cycles, area, energy"
+        )
+
+    def frontier(self, objectives: Optional[Sequence[str]] = None) -> Tuple[str, ...]:
+        """Variant names on the Pareto frontier of the given objectives.
+
+        Defaults to the classic (gmean cycles, area) frontier; pass
+        ``("cycles", "area", "energy")`` for the energy-aware frontier
+        (requires the exploration to have costed energy).
+        """
+        key = tuple(objectives) if objectives is not None else ("cycles", "area")
+        cached = self._frontiers.get(key)
+        if cached is None:
+            costs = np.column_stack([self._objective_values(o) for o in key])
             names = self.names
-            self._frontier = tuple(names[i] for i in pareto_frontier(costs))
-        return self._frontier
+            cached = tuple(names[i] for i in pareto_frontier(costs))
+            self._frontiers[key] = cached
+        return cached
 
     def rows(self) -> List[Dict[str, Any]]:
-        """One report row per variant: name, gmean cycles, area, frontier flag."""
+        """One report row per variant: name, gmean cycles, area, frontier flag.
+
+        Built from the per-variant aggregate arrays only, so it works even
+        when the per-cell grid was streamed out under a memory budget.
+        """
         on_frontier = set(self.frontier())
-        return [
-            {
+        rows = []
+        for j, name in enumerate(self.names):
+            row: Dict[str, Any] = {
                 "name": name,
                 "gmean_cycles": float(self.gmean_cycles[j]),
                 "area_mm2": float(self.area_mm2[j]),
-                "pareto": name in on_frontier,
             }
-            for j, name in enumerate(self.names)
-        ]
+            if self.gmean_energy_mj is not None:
+                row["gmean_energy_mj"] = float(self.gmean_energy_mj[j])
+            row["pareto"] = name in on_frontier
+            rows.append(row)
+        return rows
+
+    def top_rows(self, n: int, key: str = "gmean_cycles") -> List[Dict[str, Any]]:
+        """The ``n`` best report rows, sorted ascending by ``key``.
+
+        Streaming-safe: only the per-variant aggregates are consulted, so
+        ``--top`` works under ``--memory-budget`` without materializing
+        the per-cell grid.
+        """
+        rows = self.rows()
+        if key not in ("gmean_cycles", "area_mm2", "gmean_energy_mj"):
+            raise ConfigurationError(
+                f"unknown top_rows key {key!r}; known: gmean_cycles, area_mm2, "
+                "gmean_energy_mj"
+            )
+        if key == "gmean_energy_mj" and self.gmean_energy_mj is None:
+            raise ConfigurationError(
+                "energy was not costed; pass energy=True to explore()"
+            )
+        rows.sort(key=lambda r: r[key])
+        return rows[: max(0, n)]
 
 
 def explore(
@@ -153,6 +209,8 @@ def explore(
     executor: Union[str, Executor, None] = None,
     memory_budget: Optional[int] = None,
     keep_grid: Optional[bool] = None,
+    energy: bool = False,
+    seed: Optional[int] = None,
     **axes: Iterable[Any],
 ) -> DSEResult:
     """Cost the evaluation workloads over a configuration grid.
@@ -181,6 +239,13 @@ def explore(
             whether the full grid itself fits in it; when ``False`` the
             result's ``batch`` is ``None`` and only the aggregate arrays
             (gmean cycles, area, frontier) are kept.
+        energy: Also cost per-variant energy through the
+            :mod:`repro.core.energy` model (fills ``gmean_energy_mj`` and
+            enables the energy-aware frontier).
+        seed: Shuffle the variant evaluation order with one
+            ``numpy.random.default_rng(seed)``. The same seed yields the
+            same order (and therefore byte-identical reports); ``None``
+            keeps cartesian sweep order.
         **axes: Sweep axes, e.g. ``lanes=(8, 16, 32), banks=(8, 16)``.
 
     Returns:
@@ -189,6 +254,11 @@ def explore(
     variants = sweep(base, name=name, **axes)
     for platform in variants.values():
         platform.config.validate()
+    if seed is not None:
+        rng = np.random.default_rng(seed)
+        names = list(variants)
+        order = rng.permutation(len(names))
+        variants = {names[i]: variants[names[i]] for i in order}
     if profiles is None:
         runner = ExperimentRunner(
             context=context or RunContext(),
@@ -210,9 +280,10 @@ def explore(
             or len(collected) * len(variants) * COSTING_BYTES_PER_CELL <= budget
         )
     platform_list = list(variants.values())
+    gmean_energy: Optional[List[float]] = [] if energy else None
     if keep_grid:
         batch: Optional[BatchCostResult] = estimate_cycles_batch(
-            collected, platform_list, memory_budget=budget
+            collected, platform_list, memory_budget=budget, energy=energy
         )
         gmean_cycles = np.array(
             [
@@ -220,6 +291,11 @@ def explore(
                 for j in range(len(variants))
             ]
         )
+        if gmean_energy is not None:
+            gmean_energy.extend(
+                geometric_mean([float(e) for e in batch.energy_mj[:, j]])
+                for j in range(len(variants))
+            )
     else:
         # Stream the cross-product: each chunk carries complete profile
         # columns, so per-column gmeans fold in with identical floats and
@@ -227,12 +303,17 @@ def explore(
         batch = None
         gmean_parts: List[float] = []
         for _, chunk_batch in iter_cycles_batches(
-            collected, platform_list, memory_budget=budget
+            collected, platform_list, memory_budget=budget, energy=energy
         ):
             gmean_parts.extend(
                 geometric_mean([float(c) for c in chunk_batch.cycles[:, j]])
                 for j in range(chunk_batch.cycles.shape[1])
             )
+            if gmean_energy is not None:
+                gmean_energy.extend(
+                    geometric_mean([float(e) for e in chunk_batch.energy_mj[:, j]])
+                    for j in range(chunk_batch.cycles.shape[1])
+                )
         gmean_cycles = np.asarray(gmean_parts, dtype=np.float64)
     area_mm2 = np.array([capstan_area(v.config).total_mm2 for v in variants.values()])
     return DSEResult(
@@ -241,4 +322,7 @@ def explore(
         batch=batch,
         area_mm2=area_mm2,
         gmean_cycles=gmean_cycles,
+        gmean_energy_mj=(
+            np.asarray(gmean_energy, dtype=np.float64) if gmean_energy is not None else None
+        ),
     )

@@ -22,6 +22,9 @@ Endpoints (all JSON):
 * ``GET /throughput?ordering=unordered&lanes=16&banks=16`` -- same
   contract over the SpMU throughput store.
 * ``GET /runs?limit=10`` -- recorded bench-run history.
+* ``GET /frontier`` -- the Pareto frontier of the latest persisted
+  adaptive DSE search (``404`` until a search has completed;
+  ``key=<search-key>`` pins a specific one).
 * ``GET /jobs`` / ``GET /jobs/<id>`` -- job states and unit counts.
 * ``POST /jobs`` -- submit a job spec, e.g. ``{"type": "profile_grid",
   "apps": ["bfs"], "context": {"scale": 0.015625}}``.
@@ -206,13 +209,23 @@ class CacheServer:
                 return self._throughput(query)
             if path == "/runs" and method == "GET":
                 return self._runs(query)
+            if path == "/frontier" and method == "GET":
+                return self._frontier(query)
             if path == "/jobs" and method == "GET":
                 return self._jobs()
             if path == "/jobs" and method == "POST":
                 return self._submit(body)
             if path.startswith("/jobs/") and method == "GET":
                 return self._job(path[len("/jobs/") :])
-            if path in ("/health", "/healthz", "/profile", "/throughput", "/runs", "/jobs"):
+            if path in (
+                "/health",
+                "/healthz",
+                "/profile",
+                "/throughput",
+                "/runs",
+                "/frontier",
+                "/jobs",
+            ):
                 return 405, {"error": f"method {method} not allowed on {path}"}
             return 404, {"error": f"no route {path}"}
         except _StoreUnavailable as exc:
@@ -351,6 +364,41 @@ class CacheServer:
                 }
                 for run in runs
             ]
+        }
+
+    def _frontier(self, query: Dict[str, str]) -> Tuple[int, Dict[str, Any]]:
+        """Answer from the search store: the latest persisted DSE result."""
+        from .search import SearchStore
+
+        store = SearchStore()
+        key = query.get("key")
+        result = store.load_result(key) if key else store.load_latest_result()
+        if result is None:
+            return 404, {
+                "status": "miss",
+                "error": (
+                    f"no persisted search result for key {key!r}"
+                    if key
+                    else "no search has completed yet; run repro-eval dse --search"
+                ),
+                "store": str(store.root),
+            }
+        frontier = [
+            point
+            for point in result.get("points", [])
+            if point.get("name") in set(result.get("frontier", ()))
+        ]
+        return 200, {
+            "status": "ok",
+            "search_key": result.get("search_key"),
+            "strategy": result.get("strategy"),
+            "seed": result.get("seed"),
+            "objectives": result.get("objectives"),
+            "space_size": result.get("space_size"),
+            "explored": len(result.get("points", [])),
+            "evaluations": result.get("evaluations"),
+            "generations": result.get("generations"),
+            "frontier": frontier,
         }
 
     def _jobs(self) -> Tuple[int, Dict[str, Any]]:

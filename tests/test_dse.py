@@ -154,6 +154,28 @@ class TestParetoFrontier:
     def test_single_point(self):
         assert list(pareto_frontier(np.array([[3.0, 7.0]]))) == [0]
 
+    def test_constant_column_reduces_to_other_objectives(self):
+        # A degenerate objective (same value everywhere) must not hide
+        # domination in the remaining columns.
+        costs = np.array([[1.0, 5.0], [1.0, 2.0], [1.0, 3.0]])
+        assert list(pareto_frontier(costs)) == [1]
+
+    def test_one_point_dominating_every_other(self):
+        costs = np.array([[5.0, 5.0], [1.0, 1.0], [3.0, 4.0], [2.0, 6.0]])
+        assert list(pareto_frontier(costs)) == [1]
+
+    def test_three_objectives(self):
+        costs = np.array(
+            [
+                [1.0, 3.0, 3.0],
+                [3.0, 1.0, 3.0],
+                [3.0, 3.0, 1.0],
+                [2.0, 2.0, 2.0],
+                [3.0, 3.0, 3.0],  # dominated by [2, 2, 2]
+            ]
+        )
+        assert list(pareto_frontier(costs)) == [0, 1, 2, 3]
+
     def test_rejects_non_2d(self):
         with pytest.raises(ConfigurationError):
             pareto_frontier(np.array([1.0, 2.0]))
@@ -203,6 +225,60 @@ class TestExplore:
     def test_invalid_structural_combo_rejected(self):
         with pytest.raises(ConfigurationError):
             explore(profiles=self._profiles(), lanes=(12,))
+
+    def test_top_rows_streaming_safe_under_memory_budget(self, monkeypatch):
+        """``--top`` must work when the per-cell grid was streamed out."""
+        kwargs = dict(profiles=self._profiles(), lanes=(8, 16), banks=(16, 32))
+        full = explore(**kwargs)
+        monkeypatch.setenv("REPRO_MEMORY_BUDGET", "1024")
+        streamed = explore(**kwargs)
+        assert streamed.batch is None  # the grid really was streamed out
+        with pytest.raises(ConfigurationError):
+            _ = streamed.cycles
+        top = streamed.top_rows(2)
+        assert top == full.top_rows(2)
+        assert [r["gmean_cycles"] for r in top] == sorted(
+            r["gmean_cycles"] for r in top
+        )
+        assert len(streamed.top_rows(100)) == 4  # n beyond the grid is fine
+        assert streamed.top_rows(2, key="area_mm2") == full.top_rows(2, key="area_mm2")
+
+    def test_top_rows_rejects_unknown_key(self):
+        result = explore(profiles=self._profiles(), lanes=(8, 16))
+        with pytest.raises(ConfigurationError):
+            result.top_rows(1, key="speed")
+        with pytest.raises(ConfigurationError):
+            result.top_rows(1, key="gmean_energy_mj")  # energy not costed
+
+    def test_explore_energy_objective(self):
+        result = explore(
+            profiles=self._profiles(), energy=True, lanes=(8, 16), banks=(16, 32)
+        )
+        assert result.gmean_energy_mj is not None
+        assert (result.gmean_energy_mj > 0).all()
+        assert all("gmean_energy_mj" in row for row in result.rows())
+        energy_frontier = result.frontier(("cycles", "area", "energy"))
+        assert set(result.frontier()) <= set(energy_frontier)
+        top = result.top_rows(2, key="gmean_energy_mj")
+        assert top[0]["gmean_energy_mj"] <= top[1]["gmean_energy_mj"]
+
+    def test_energy_frontier_requires_energy(self):
+        result = explore(profiles=self._profiles(), lanes=(8, 16))
+        with pytest.raises(ConfigurationError):
+            result.frontier(("cycles", "energy"))
+
+    def test_seed_shuffles_order_not_content(self):
+        kwargs = dict(profiles=self._profiles(), lanes=(8, 16), banks=(16, 32))
+        plain = explore(**kwargs)
+        seeded = explore(seed=7, **kwargs)
+        again = explore(seed=7, **kwargs)
+        assert seeded.names == again.names  # deterministic per seed
+        assert seeded.names != plain.names  # but actually shuffled
+        assert sorted(seeded.names) == sorted(plain.names)
+        # Costs ride with their variants through the shuffle.
+        by_name = {r["name"]: r for r in plain.rows()}
+        for row in seeded.rows():
+            assert row == by_name[row["name"]]
 
 
 class TestDseCli:

@@ -95,7 +95,14 @@ class TestRunStore:
     def test_sections_and_metrics_rows(self, store):
         run_id = store.record_run(BENCH_RECORD, fingerprint=FINGERPRINT_A)
         sections = store.sections(run_id)
-        assert set(sections) == {"runner", "costing", "spmu", "formats", "chunked"}
+        assert set(sections) == {
+            "runner",
+            "costing",
+            "spmu",
+            "formats",
+            "chunked",
+            "dse",
+        }
         assert sections["spmu"] == BENCH_RECORD["spmu"]
         assert sections["runner"]["cold_serial_s"] == BENCH_RECORD["cold_serial_s"]
         # Nested format-axis metrics flatten into dotted rows.
@@ -287,6 +294,7 @@ class TestComparison:
             "compare:batch_s",
             "compare:array_s",
             "compare:chunked_s",
+            "compare:search_s",
         }
         # Absolute gates still apply across a scale bump.
         broken = make_record(scale=0.125, **{"spmu.identical": False})

@@ -343,3 +343,57 @@ class TestHardening:
             assert stuck_task.cancelled() or stuck_task.cancelling()
 
         asyncio.run(scenario())
+
+
+class TestFrontierEndpoint:
+    def _run_search(self, tmp_path, monkeypatch):
+        from repro.apps.profile import WorkloadProfile
+        from repro.runtime.search import (
+            AdaptiveSearch,
+            SearchSpace,
+            SearchStore,
+            make_strategy,
+        )
+
+        monkeypatch.setenv("REPRO_SEARCH_STORE", str(tmp_path / "search"))
+        profiles = [
+            WorkloadProfile(
+                app="a", dataset="d", compute_iterations=50_000,
+                sram_random_updates=30_000, dram_stream_read_bytes=1e6,
+            )
+        ]
+        engine = AdaptiveSearch(
+            SearchSpace.from_axes({"lanes": [8, 16], "banks": [16, 32]}),
+            make_strategy("evolve", population=4, generations=2),
+            profiles,
+            seed=1,
+            store=SearchStore(),
+        )
+        return engine.run(), engine.key
+
+    def test_404_until_a_search_completes(self, server, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SEARCH_STORE", str(tmp_path / "search"))
+        status, payload = _get(server, "/frontier")
+        assert status == 404
+        assert payload["status"] == "miss"
+
+        result, key = self._run_search(tmp_path, monkeypatch)
+        status, payload = _get(server, "/frontier")
+        assert status == 200
+        assert payload["search_key"] == key
+        assert payload["strategy"] == "evolve"
+        assert payload["objectives"] == ["cycles", "area", "energy"]
+        assert [p["name"] for p in payload["frontier"]] == list(result.frontier())
+        assert all(p["pareto"] for p in payload["frontier"])
+
+    def test_key_pins_a_specific_search(self, server, tmp_path, monkeypatch):
+        _, key = self._run_search(tmp_path, monkeypatch)
+        status, payload = _get(server, "/frontier", {"key": key})
+        assert status == 200
+        assert payload["search_key"] == key
+        status, payload = _get(server, "/frontier", {"key": "0" * 16})
+        assert status == 404
+
+    def test_post_not_allowed(self, server):
+        status, _ = server.handle("POST", "/frontier", {}, b"")
+        assert status == 405
